@@ -1,0 +1,40 @@
+"""Ablation — multi-port cache storage: bit-selection vs LVT (Section 4.4).
+
+Paper claim: the address bit-selection construction needs only 2/P of
+the LVT-based design's BRAM and avoids its extra read-latency cycle.
+"""
+
+from repro.experiments.report import render_table
+from repro.hw import multiport_bram_comparison
+
+
+def run(depth=512 * 1024):
+    return {p: multiport_bram_comparison(depth, p) for p in (2, 4, 8, 16)}
+
+
+def test_multiport_bram(benchmark, once, capsys):
+    results = once(benchmark, run)
+    rows = [
+        (
+            f"P={p}",
+            c["bit_select_blocks"],
+            c["lvt_blocks"],
+            f"{c['ratio']:.4f}",
+            f"{c['paper_ratio']:.4f}",
+            c["bit_select_read_latency"],
+            c["lvt_read_latency"],
+        )
+        for p, c in results.items()
+    ]
+    with capsys.disabled():
+        print("\n=== Ablation: multi-port cache BRAM, bit-selection vs LVT ===")
+        print(
+            render_table(
+                ["Ports", "BitSel blocks", "LVT blocks", "ratio",
+                 "paper 2/P", "BitSel lat", "LVT lat"],
+                rows,
+            )
+        )
+    for p, c in results.items():
+        assert c["ratio"] <= 2.0 / p
+        assert c["bit_select_read_latency"] < c["lvt_read_latency"]

@@ -1,0 +1,45 @@
+"""Fidelity — pipeline-phase occupancy from the cycle-stepped BWPE.
+
+Where a single engine's cycles actually go, per dataset class and per
+optimization setting — the cycle-granular view behind Figure 11's bars.
+"""
+
+from repro.experiments import get_graph, get_spec
+from repro.experiments.report import render_table
+from repro.hw import CycleAccurateBWPE, CyclePhase, OptimizationFlags
+
+KEYS = ["EF", "CL", "RC"]
+
+
+def run():
+    rows = []
+    for key in KEYS:
+        g = get_graph(key)
+        cfg = get_spec(key).config_for(1, g.num_vertices)
+        for flags, label in ((OptimizationFlags.none(), "BSL"),
+                             (OptimizationFlags.all(), "full")):
+            _, stats = CycleAccurateBWPE(cfg, flags).run(g)
+            rows.append((
+                key, label, stats.cycles,
+                f"{100 * stats.fraction(CyclePhase.PROCESS):.1f}%",
+                f"{100 * stats.fraction(CyclePhase.DRAM_WAIT):.1f}%",
+                f"{100 * stats.fraction(CyclePhase.FINALIZE):.1f}%",
+                f"{100 * stats.fraction(CyclePhase.SETUP):.1f}%",
+            ))
+    return rows
+
+
+def test_cycle_phases(benchmark, once, capsys):
+    rows = once(benchmark, run)
+    with capsys.disabled():
+        print("\n=== Fidelity: single-BWPE cycle-phase occupancy ===")
+        print(render_table(
+            ["Graph", "flags", "cycles", "process", "dram wait",
+             "finalize", "setup"],
+            rows,
+        ))
+    by = {(r[0], r[1]): r for r in rows}
+    for key in KEYS:
+        bsl_cycles = by[(key, "BSL")][2]
+        full_cycles = by[(key, "full")][2]
+        assert full_cycles < bsl_cycles, key

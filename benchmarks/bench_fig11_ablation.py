@@ -1,0 +1,28 @@
+"""Figure 11 — single-BWPE performance under cumulative optimizations.
+
+Paper: vs the BSL baseline, the full stack (+HDC+BWC+MGR+PUV) removes
+88.63 % of DRAM access time, 66.89 % of computation and 82.91 % of total
+execution time on average.
+"""
+
+from repro.experiments import fig11_ablation, report
+
+
+def test_fig11_ablation(benchmark, once, capsys):
+    result = once(benchmark, fig11_ablation)
+    with capsys.disabled():
+        print("\n=== Fig 11: single-BWPE optimization ablation ===")
+        print(report.render_fig11(result))
+    finals = [steps[-1] for steps in result.values()]
+    n = len(finals)
+    dram_red = 1 - sum(s.dram_norm for s in finals) / n
+    total_red = 1 - sum(s.total_norm for s in finals) / n
+    comp_red = 1 - sum(s.compute_norm for s in finals) / n
+    # Shape targets around the paper's 88.63 / 66.89 / 82.91 %.
+    assert dram_red > 0.6
+    assert comp_red > 0.25
+    assert total_red > 0.55
+    # Each cumulative step helps (or at worst is neutral) on every graph.
+    for steps in result.values():
+        totals = [s.total_norm for s in steps]
+        assert all(b <= a + 1e-9 for a, b in zip(totals, totals[1:]))

@@ -1,0 +1,21 @@
+"""Figure 12 — BitColor speedup vs parallelism (1 to 16 BWPEs).
+
+Paper: 16 BWPEs achieve 3.92x-7.01x over one BWPE — sublinear because of
+data conflicts, dispatch serialization and shared DRAM bandwidth.
+"""
+
+from repro.experiments import fig12_scaling, report
+
+
+def test_fig12_scaling(benchmark, once, capsys):
+    result = once(benchmark, fig12_scaling)
+    with capsys.disabled():
+        print("\n=== Fig 12: speedup vs parallelism (paper: 3.92x-7.01x at P=16) ===")
+        print(report.render_fig12(result))
+    for key, series in result.items():
+        # Monotone non-decreasing in P, and clearly sublinear at P=16.
+        ps = sorted(series)
+        vals = [series[p] for p in ps]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:])), key
+        assert series[16] < 13.0, key
+        assert series[16] > 3.0, key

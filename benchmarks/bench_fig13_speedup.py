@@ -1,0 +1,22 @@
+"""Figure 13 + Section 5.3 — BitColor vs CPU and GPU.
+
+Paper: 30x-97x over CPU (avg 54.9x), 1.63x-6.69x over GPU (avg 2.71x);
+throughput 0.88 / 15.3 / 41.6 MCV/S; energy 12 / 19 / 156 KCV/J.
+"""
+
+from repro.experiments import fig13_comparison, report
+
+
+def test_fig13_comparison(benchmark, once, capsys):
+    result = once(benchmark, fig13_comparison)
+    with capsys.disabled():
+        print("\n=== Fig 13: BitColor vs CPU vs GPU ===")
+        print(report.render_fig13(result))
+    assert 40 <= result.avg_speedup_vs_cpu <= 75
+    assert 2.0 <= result.avg_speedup_vs_gpu <= 4.0
+    for row in result.rows:
+        assert 25 <= row.speedup_vs_cpu <= 110, row.dataset
+        assert 1.3 <= row.speedup_vs_gpu <= 7.5, row.dataset
+    kcvj = result.avg_kcvj()
+    assert kcvj["bitcolor"] > 5 * kcvj["cpu"]
+    assert kcvj["bitcolor"] > 4 * kcvj["gpu"]

@@ -1,0 +1,18 @@
+"""Figure 14 — resource utilization and frequency vs parallelism.
+
+Paper at P=16: 47.79 % LUTs, 51.09 % registers, 96.72 % BRAM, >200 MHz.
+"""
+
+from repro.experiments import fig14_resources, report
+
+
+def test_fig14_resources(benchmark, once, capsys):
+    reports = once(benchmark, fig14_resources)
+    with capsys.disabled():
+        print("\n=== Fig 14: resource utilization & frequency ===")
+        print(report.render_fig14(reports))
+    p16 = reports[-1].utilization()
+    assert abs(p16["lut_pct"] - 47.79) < 4
+    assert abs(p16["register_pct"] - 51.09) < 4
+    assert abs(p16["bram_pct"] - 96.72) < 4
+    assert all(r.frequency_mhz > 200 for r in reports)

@@ -1,0 +1,16 @@
+"""Figure 3(b) — neighbourhood overlap ratio vs iteration interval.
+
+Paper: most ratios below 10 %, average 4.96 % — no temporal locality to
+exploit, hence the statically-pinned HDV cache.
+"""
+
+from repro.experiments import fig3b_overlap, report
+
+
+def test_fig3b_overlap(benchmark, once, capsys):
+    rows = once(benchmark, fig3b_overlap)
+    with capsys.disabled():
+        print("\n=== Fig 3(b): neighbourhood overlap ratio (paper avg: 4.96 %) ===")
+        print(report.render_fig3b(rows))
+    avg = rows["average"]
+    assert avg[4] < 0.15

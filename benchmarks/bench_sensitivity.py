@@ -1,0 +1,39 @@
+"""Sensitivity — headline speedups under perturbed calibration constants.
+
+DESIGN.md §4 calibrates a handful of cost constants once.  This bench
+halves and doubles each and re-derives the Figure 13 aggregates on a
+4-dataset slice, showing the paper's conclusions are not an artifact of
+the exact constants.
+"""
+
+from repro.experiments import (
+    sweep_cpu_memory,
+    sweep_dram_occupancy,
+    sweep_gpu_frontier_rate,
+    sweep_physical_channels,
+)
+from repro.experiments.report import render_table
+
+
+def run():
+    rows = []
+    rows += sweep_dram_occupancy()
+    rows += sweep_physical_channels()
+    rows += sweep_cpu_memory()
+    rows += sweep_gpu_frontier_rate()
+    return rows
+
+
+def test_sensitivity(benchmark, once, capsys):
+    rows = once(benchmark, run)
+    with capsys.disabled():
+        print("\n=== Sensitivity: headline speedups vs calibration constants ===")
+        print(render_table(
+            ["parameter", "value", "avg vs CPU", "avg vs GPU"],
+            [(r.parameter, f"{r.value:g}", f"{r.avg_speedup_vs_cpu:.1f}x",
+              f"{r.avg_speedup_vs_gpu:.2f}x") for r in rows],
+        ))
+    for r in rows:
+        # Direction survives every perturbation.
+        assert r.avg_speedup_vs_cpu > 10, r
+        assert r.avg_speedup_vs_gpu > 0.8, r

@@ -1,0 +1,16 @@
+"""Table 2 — preprocessing (DBG reorder) vs coloring time, one CPU thread.
+
+Paper claim: graph reordering cost is small compared with coloring
+(e.g. com-Friendster: 80.7 s reorder vs 757.5 s coloring).
+"""
+
+from repro.experiments import report, table2_preprocessing
+
+
+def test_table2_preprocessing(benchmark, once, capsys):
+    rows = once(benchmark, table2_preprocessing)
+    with capsys.disabled():
+        print("\n=== Table 2: preprocessing vs coloring time (modelled, paper scale) ===")
+        print(report.render_table2(rows))
+    for r in rows:
+        assert r.reorder_ms < r.coloring_ms

@@ -1,0 +1,11 @@
+"""Table 3 — the dataset inventory (paper graphs and their stand-ins)."""
+
+from repro.experiments import report, table3_datasets
+
+
+def test_table3_datasets(benchmark, once, capsys):
+    rows = once(benchmark, table3_datasets)
+    with capsys.disabled():
+        print("\n=== Table 3: datasets (paper vs synthetic stand-ins) ===")
+        print(report.render_table3(rows))
+    assert len(rows) == 10

@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table or figure on the stand-in
+dataset suite and prints the same rows/series the paper reports, with
+the paper's values alongside for comparison.  Simulation runs are
+deterministic, so every experiment executes exactly once
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the
+*modelled* performance, not the harness's wall clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: color a graph the BitColor way, end to end.
+
+1. Generate a power-law graph (a stand-in for a social network).
+2. Apply the paper's preprocessing: degree-based-grouping reordering and
+   per-vertex edge sorting.
+3. Color it three ways — basic greedy (Algorithm 1), bit-wise greedy
+   (Algorithm 2), and the full BitColor accelerator simulation with 16
+   parallel bit-wise engines — and check all three agree.
+4. Print the accelerator's modelled performance counters.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.coloring import (
+    assert_proper_coloring,
+    bitwise_greedy_coloring,
+    greedy_coloring,
+)
+from repro.graph import degree_based_grouping, rmat, sort_edges
+from repro.hw import BitColorAccelerator, HWConfig
+
+# ----------------------------------------------------------------------
+# 1. Build a graph.
+# ----------------------------------------------------------------------
+graph = rmat(scale=12, edge_factor=8, seed=42, name="quickstart")
+print(f"graph: {graph.num_vertices} vertices, "
+      f"{graph.num_undirected_edges} undirected edges, "
+      f"max degree {graph.max_degree()}")
+
+# ----------------------------------------------------------------------
+# 2. Preprocess: DBG reorder (descending degree) + edge sorting.
+# ----------------------------------------------------------------------
+reorder = degree_based_grouping(graph)
+g = sort_edges(reorder.graph)
+print("preprocessed: vertex 0 now has the highest in-degree "
+      f"({g.in_degrees()[0]}), edges sorted ascending")
+
+# ----------------------------------------------------------------------
+# 3. Color three ways.
+# ----------------------------------------------------------------------
+basic = greedy_coloring(g)
+bitwise = bitwise_greedy_coloring(g, prune_uncolored=True)
+accel = BitColorAccelerator(HWConfig(parallelism=16)).run(g)
+
+assert np.array_equal(basic.colors, bitwise.colors)
+assert np.array_equal(basic.colors, accel.colors)
+assert_proper_coloring(g, accel.colors)
+print(f"\nall three methods agree: {accel.num_colors} colors")
+print(f"bit-wise Stage-1 ops: {bitwise.counters.stage1_ops} "
+      f"(basic greedy needed {basic.counters.stage1_ops})")
+print(f"PUV pruned {bitwise.pruned_edges} of {g.num_edges} edge visits")
+
+# Map colors back to the original vertex IDs if you need them.
+original_colors = reorder.map_coloring_to_original(accel.colors)
+assert_proper_coloring(graph, original_colors)
+
+# ----------------------------------------------------------------------
+# 4. Modelled accelerator performance.
+# ----------------------------------------------------------------------
+s = accel.stats
+print(f"\naccelerator model (P=16 @ {accel.config.frequency_mhz:.0f} MHz):")
+print(f"  makespan:        {s.makespan_cycles} cycles "
+      f"= {accel.time_seconds * 1e6:.1f} us")
+print(f"  throughput:      {accel.throughput_mcvs:.1f} MCV/s")
+print(f"  cache reads:     {s.cache_reads}   LDV DRAM reads: {s.ldv_reads} "
+      f"(merged: {s.merged_reads})")
+print(f"  pruned edges:    {s.pruned_edges}")
+print(f"  conflicts:       {s.conflicts} (stall cycles: {s.stall_cycles})")

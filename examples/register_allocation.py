@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Resource allocation: register assignment via interference coloring.
+
+The paper cites resource allocation (Goossens et al., embedded signal
+processing) as a graph-coloring application.  The classic instance is
+register allocation: build an *interference graph* whose vertices are
+virtual registers (live ranges) and whose edges join ranges that are
+live simultaneously; a k-coloring is an assignment to k machine
+registers, and vertices that can't be colored within k are spilled.
+
+This example synthesises live ranges for a straight-line program, builds
+the interference graph with the repro CSR substrate, colors it with the
+bit-wise greedy algorithm, and applies a spill-and-retry loop for a
+fixed register budget.
+
+Run:  python examples/register_allocation.py
+"""
+
+import numpy as np
+
+from repro.coloring import bitwise_greedy_coloring, num_colors
+from repro.graph import CSRGraph
+
+rng = np.random.default_rng(2024)
+
+# ----------------------------------------------------------------------
+# 1. Synthesise live ranges: each virtual register lives over [start, end).
+# ----------------------------------------------------------------------
+NUM_VREGS = 400
+PROGRAM_LEN = 1200
+starts = rng.integers(0, PROGRAM_LEN - 1, size=NUM_VREGS)
+lengths = rng.geometric(0.03, size=NUM_VREGS)
+ends = np.minimum(starts + lengths, PROGRAM_LEN)
+
+# ----------------------------------------------------------------------
+# 2. Interference graph: ranges that overlap in time conflict.
+# ----------------------------------------------------------------------
+def interference_graph(starts, ends):
+    order = np.argsort(starts)
+    edges = []
+    active: list[int] = []
+    for v in order:
+        active = [u for u in active if ends[u] > starts[v]]
+        edges.extend((int(u), int(v)) for u in active)
+        active.append(int(v))
+    return CSRGraph.from_edge_list(len(starts), edges, name="interference")
+
+g = interference_graph(starts, ends)
+print(f"interference graph: {g.num_vertices} virtual registers, "
+      f"{g.num_undirected_edges} conflicts, max pressure ~{g.max_degree() + 1}")
+
+# ----------------------------------------------------------------------
+# 3. Color and allocate; spill the highest-degree uncolorable ranges.
+# ----------------------------------------------------------------------
+NUM_MACHINE_REGS = 16
+
+def allocate(graph, budget):
+    """Greedy color; returns (colors, spilled original-vertex ids)."""
+    spilled: list[int] = []
+    live = list(range(graph.num_vertices))
+    sub = graph
+    while True:
+        result = bitwise_greedy_coloring(sub)
+        over = np.nonzero(result.colors > budget)[0]
+        if over.size == 0:
+            return result.colors, spilled, sub, live
+        # Spill the over-budget range with the most conflicts.
+        degs = sub.degrees()
+        victim = int(over[np.argmax(degs[over])])
+        spilled.append(live[victim])
+        keep = [v for i, v in enumerate(live) if i != victim]
+        sub = sub.subgraph([i for i in range(sub.num_vertices) if i != victim])
+        live = keep
+
+colors, spilled, sub, live = allocate(g, NUM_MACHINE_REGS)
+print(f"\nallocation with {NUM_MACHINE_REGS} machine registers:")
+print(f"  colors used: {num_colors(colors)}")
+print(f"  spilled ranges: {len(spilled)} "
+      f"({100 * len(spilled) / g.num_vertices:.1f}% of vregs)")
+
+# Sanity: the final assignment is a proper coloring within budget.
+assert colors.max() <= NUM_MACHINE_REGS
+for u_idx in range(sub.num_vertices):
+    for w in sub.neighbors(u_idx):
+        assert colors[u_idx] != colors[int(w)]
+
+# ----------------------------------------------------------------------
+# 4. Register-pressure curve: spills vs budget.
+# ----------------------------------------------------------------------
+print("\nspill curve:")
+for budget in (8, 12, 16, 24, 32):
+    _, sp, _, _ = allocate(g, budget)
+    bar = "#" * (len(sp) // 3) if sp else ""
+    print(f"  {budget:3d} registers -> {len(sp):4d} spills {bar}")

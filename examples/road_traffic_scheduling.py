@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Traffic scheduling: signal phases for a road network via coloring.
+
+One of the paper's cited applications (Barnier & Brisset: graph coloring
+for air-traffic flow management; the road version is classic).  Model:
+maintenance crews must service road segments; two segments meeting at an
+intersection cannot be serviced in the same shift.  The conflict graph's
+chromatic classes are the shifts.
+
+Road networks are the paper's low-degree, high-locality dataset class —
+the regime where the HDV cache covers little and DRAM read merging does
+the heavy lifting, so this example also prints those counters.
+
+Run:  python examples/road_traffic_scheduling.py
+"""
+
+import numpy as np
+
+from repro.coloring import (
+    assert_proper_coloring,
+    chromatic_number,
+    color_class_sizes,
+)
+from repro.graph import degree_based_grouping, road_grid, sort_edges
+from repro.hw import BitColorAccelerator, HWConfig, OptimizationFlags
+
+# ----------------------------------------------------------------------
+# A city-scale road grid (each vertex = a road segment / junction zone).
+# ----------------------------------------------------------------------
+raw = road_grid(90, 90, diag_prob=0.08, removal_prob=0.06, seed=11, name="city")
+reorder = degree_based_grouping(raw)
+g = sort_edges(reorder.graph)
+print(f"road network: {g.num_vertices} zones, "
+      f"{g.num_undirected_edges} adjacencies, max degree {g.max_degree()}")
+
+# ----------------------------------------------------------------------
+# Color on the simulated accelerator with a small cache — road networks
+# at paper scale cache only ~25-45 % of vertices, so mirror that here.
+# ----------------------------------------------------------------------
+cache_vertices = int(0.3 * g.num_vertices)
+cfg = HWConfig(parallelism=16, cache_bytes=2 * cache_vertices)
+accel = BitColorAccelerator(cfg).run(g)
+assert_proper_coloring(g, accel.colors)
+shifts = color_class_sizes(accel.colors)
+
+print(f"\nschedule: {accel.num_colors} maintenance shifts")
+for color, size in sorted(shifts.items()):
+    bar = "#" * max(1, size * 50 // g.num_vertices)
+    print(f"  shift {color}: {size:5d} zones {bar}")
+
+# Road networks are nearly planar, so very few shifts suffice; verify
+# against the exact chromatic number on a small patch.
+patch = g.subgraph(range(150))
+chi = chromatic_number(patch)
+print(f"\nexact chromatic number of a 150-zone patch: {chi} "
+      f"(greedy used {accel.num_colors} shifts city-wide)")
+
+# ----------------------------------------------------------------------
+# Where the time goes on this dataset class: DRAM, softened by merging.
+# ----------------------------------------------------------------------
+s = accel.stats
+no_mgr = BitColorAccelerator(
+    cfg, OptimizationFlags(hdc=True, bwc=True, mgr=False, puv=True)
+).run(g)
+saved = no_mgr.stats.dram_reads - s.dram_reads
+print(f"\naccelerator counters (P=16, 30% cache):")
+print(f"  LDV DRAM reads: {s.ldv_reads} of which merged: {s.merged_reads}")
+print(f"  DRAM block reads with MGR: {s.dram_reads} "
+      f"(without: {no_mgr.stats.dram_reads}, saved {saved})")
+print(f"  modelled time: {accel.time_seconds * 1e3:.3f} ms "
+      f"({accel.throughput_mcvs:.1f} MCV/s)")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Social network analysis: conflict-free parallel user updates.
+
+The paper's motivating application class.  In a social platform, an
+update to a user's state (feed ranking, fraud score, embedding) reads
+that user's neighbourhood.  Two adjacent users updated concurrently race
+on the shared edge — but users with the *same graph color* are pairwise
+non-adjacent, so every color class can be processed as one perfectly
+parallel batch.
+
+This example:
+
+1. builds a realistic clustered social network,
+2. colors it with the BitColor pipeline (simulated accelerator),
+3. schedules updates color-class-by-color-class,
+4. compares the schedule length and accelerator coloring time against
+   the naive sequential baseline and the GPU-style Gunrock coloring
+   (which uses more colors, i.e. more batches).
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro.coloring import (
+    assert_proper_coloring,
+    color_class_sizes,
+    gunrock_coloring,
+)
+from repro.graph import degree_based_grouping, powerlaw_cluster, sort_edges
+from repro.hw import BitColorAccelerator, HWConfig
+from repro.perfmodel import CPUModel
+
+# ----------------------------------------------------------------------
+# A clustered social network: 8000 users, heavy-tailed degrees.
+# ----------------------------------------------------------------------
+raw = powerlaw_cluster(8_000, 7, 0.3, seed=7, name="social")
+reorder = degree_based_grouping(raw)
+g = sort_edges(reorder.graph)
+print(f"social network: {g.num_vertices} users, "
+      f"{g.num_undirected_edges} friendships, max degree {g.max_degree()}")
+
+# ----------------------------------------------------------------------
+# Color with the simulated accelerator.
+# ----------------------------------------------------------------------
+accel = BitColorAccelerator(HWConfig(parallelism=16)).run(g)
+assert_proper_coloring(g, accel.colors)
+classes = color_class_sizes(accel.colors)
+print(f"\nBitColor: {accel.num_colors} colors in "
+      f"{accel.time_seconds * 1e3:.3f} ms (modelled)")
+
+# ----------------------------------------------------------------------
+# Schedule: each color class is one parallel batch of user updates.
+# With W workers, a batch of size s takes ceil(s / W) update slots.
+# ----------------------------------------------------------------------
+WORKERS = 64
+
+def schedule_slots(class_sizes: dict) -> int:
+    return sum(-(-size // WORKERS) for size in class_sizes.values())
+
+slots = schedule_slots(classes)
+sequential_slots = g.num_vertices  # one user at a time, no races
+print(f"\nupdate schedule with {WORKERS} workers:")
+print(f"  colored batches:  {slots} slots "
+      f"({g.num_vertices / slots:.1f}x faster than sequential)")
+print(f"  largest batch:    {max(classes.values())} users "
+      f"(color {max(classes, key=classes.get)})")
+
+# ----------------------------------------------------------------------
+# Compare against the GPU-style coloring: it finds a valid coloring too,
+# but with more colors the schedule has more (and smaller) batches.
+# ----------------------------------------------------------------------
+gk = gunrock_coloring(g, seed=1)
+gk_slots = schedule_slots(color_class_sizes(gk.colors))
+print(f"\nGunrock-style coloring: {gk.num_colors} colors "
+      f"-> {gk_slots} slots ({100 * (gk_slots - slots) / slots:.0f}% longer schedule)")
+
+# ----------------------------------------------------------------------
+# Coloring-time comparison (modelled): accelerator vs one CPU core.
+# ----------------------------------------------------------------------
+cpu = CPUModel().run(g)
+print(f"\ncoloring time: CPU {cpu.time_seconds * 1e3:.2f} ms vs "
+      f"BitColor {accel.time_seconds * 1e3:.3f} ms "
+      f"({cpu.time_seconds / accel.time_seconds:.0f}x)")

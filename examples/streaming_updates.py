@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Streaming graphs: maintain a coloring while the network grows.
+
+The paper's motivation is that graphs "grow rapidly".  When edges arrive
+continuously (new friendships, new road segments), recoloring from
+scratch per batch is wasteful: most insertions don't conflict, and those
+that do are repairable locally.  This example streams a social network
+in, maintains the coloring incrementally, and compares the repair work
+against periodic from-scratch recoloring — then shows how the BitColor
+accelerator would serve as the periodic "re-optimize" pass that squeezes
+the color count back down after drift.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import numpy as np
+
+from repro.coloring import (
+    IncrementalColoring,
+    assert_proper_coloring,
+    greedy_coloring_fast,
+    num_colors,
+)
+from repro.graph import degree_based_grouping, rmat, sort_edges
+from repro.hw import BitColorAccelerator, HWConfig
+
+# ----------------------------------------------------------------------
+# The full network we'll stream in, edge by edge.
+# ----------------------------------------------------------------------
+final = rmat(11, 8, seed=99, name="stream")
+edges = [(u, v) for u, v in final.iter_edges() if u < v]
+rng = np.random.default_rng(5)
+rng.shuffle(edges)
+print(f"streaming {len(edges)} edges over {final.num_vertices} vertices")
+
+# ----------------------------------------------------------------------
+# Incremental maintenance.
+# ----------------------------------------------------------------------
+inc = IncrementalColoring(final.num_vertices)
+checkpoints = [len(edges) // 4, len(edges) // 2, 3 * len(edges) // 4, len(edges)]
+ck = 0
+for i, (u, v) in enumerate(edges, start=1):
+    inc.add_edge(u, v)
+    if ck < len(checkpoints) and i == checkpoints[ck]:
+        ck += 1
+        snapshot = inc.to_graph()
+        assert_proper_coloring(snapshot, inc.colors())
+        scratch = num_colors(greedy_coloring_fast(snapshot))
+        print(f"  after {i:6d} edges: {inc.num_colors():3d} colors maintained "
+              f"(from-scratch greedy: {scratch}), "
+              f"{inc.stats.vertices_recolored} repairs so far")
+
+s = inc.stats
+print(f"\nstream done: {s.conflicts_repaired} conflicts repaired, "
+      f"total repair work {s.recolor_work} neighbour scans")
+print(f"a per-edge rebuild would have scanned "
+      f"~{len(edges) * final.num_edges // 2:.2e} neighbours — "
+      f"{len(edges) * final.num_edges // 2 / max(s.recolor_work, 1):.0f}x more")
+
+# ----------------------------------------------------------------------
+# Periodic re-optimization on the accelerator: incremental repair lets
+# the color count drift above what greedy achieves; a BitColor pass over
+# the current snapshot resets it.
+# ----------------------------------------------------------------------
+snapshot = inc.to_graph()
+g = sort_edges(degree_based_grouping(snapshot).graph)
+accel = BitColorAccelerator(HWConfig(parallelism=16)).run(g)
+print(f"\nre-optimization pass on the accelerator: "
+      f"{inc.num_colors()} -> {accel.num_colors} colors in "
+      f"{accel.time_seconds * 1e6:.0f} us (modelled)")

@@ -1,0 +1,27 @@
+"""BitColor reproduction — large-scale graph coloring with parallel bit-wise engines.
+
+Subpackages
+-----------
+``repro.graph``
+    CSR graph substrate: storage, synthetic generators, DBG reordering,
+    edge sorting, statistics.
+``repro.coloring``
+    Coloring algorithms: basic greedy (Algorithm 1), bit-wise greedy
+    (Algorithm 2), DSATUR, Jones–Plassmann, MIS, exact backtracking.
+``repro.hw``
+    Functional + cycle-approximate model of the BitColor FPGA
+    accelerator: BWPEs, data-conflict table, multi-port HDV cache, color
+    loader, task dispatcher, DRAM channels, resource/energy models.
+``repro.perfmodel``
+    Calibrated CPU and GPU performance models used as comparison
+    baselines for the paper's Figure 13.
+``repro.experiments``
+    Dataset registry (synthetic stand-ins for the paper's SNAP graphs)
+    and one entry point per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import coloring, experiments, graph, hw, perfmodel
+
+__all__ = ["coloring", "experiments", "graph", "hw", "perfmodel", "__version__"]

@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+Installed as ``bitcolor-repro`` (or run ``python -m repro.cli``):
+
+* ``generate`` — build a synthetic graph and save it;
+* ``color`` — color a graph file (or registry stand-in) with a chosen
+  algorithm and report colors/validation;
+* ``simulate`` — run the BitColor accelerator model and report modelled
+  performance, optionally with a per-PE Gantt trace;
+* ``experiment`` — regenerate one paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_graph(args):
+    from .experiments import DATASET_KEYS, load_dataset
+    from .graph import load_npz, load_snap_edge_list
+
+    if args.dataset:
+        if args.dataset not in DATASET_KEYS:
+            raise SystemExit(
+                f"unknown dataset {args.dataset!r}; options: {DATASET_KEYS}"
+            )
+        return load_dataset(args.dataset, preprocessed=not args.raw)
+    path = Path(args.input)
+    if not path.exists():
+        raise SystemExit(f"no such file: {path}")
+    g = load_npz(path) if path.suffix == ".npz" else load_snap_edge_list(path)
+    if not args.raw:
+        from .graph import degree_based_grouping, sort_edges
+
+        g = sort_edges(degree_based_grouping(g).graph)
+    return g
+
+
+def _add_input_args(p):
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help="graph file (.npz or SNAP edge list)")
+    src.add_argument(
+        "--dataset", help="registry stand-in key (EF, GD, CD, CA, CL, RC, RP, RT, CO, CF)"
+    )
+    p.add_argument(
+        "--raw", action="store_true",
+        help="skip DBG reordering + edge sorting preprocessing",
+    )
+
+
+def cmd_generate(args) -> int:
+    from .graph import (
+        community_graph, erdos_renyi, powerlaw_cluster, rmat, road_grid, save_npz,
+    )
+
+    builders = {
+        "rmat": lambda: rmat(args.scale, args.degree // 2, seed=args.seed),
+        "powerlaw": lambda: powerlaw_cluster(
+            1 << args.scale, max(args.degree // 2, 1), 0.3, seed=args.seed
+        ),
+        "road": lambda: road_grid(
+            1 << (args.scale // 2), 1 << ((args.scale + 1) // 2), seed=args.seed
+        ),
+        "community": lambda: community_graph(
+            max((1 << args.scale) // 32, 1), 32, seed=args.seed
+        ),
+        "uniform": lambda: erdos_renyi(
+            1 << args.scale, args.degree / (1 << args.scale), seed=args.seed
+        ),
+    }
+    g = builders[args.kind]()
+    save_npz(g, args.output)
+    print(f"wrote {args.output}: {g.num_vertices} vertices, "
+          f"{g.num_undirected_edges} undirected edges")
+    return 0
+
+
+def cmd_color(args) -> int:
+    from .coloring import (
+        assert_proper_coloring,
+        bitwise_greedy_coloring,
+        dsatur_coloring,
+        greedy_coloring_fast,
+        gunrock_coloring,
+        jones_plassmann_coloring,
+        num_colors,
+    )
+
+    g = _load_graph(args)
+    algos = {
+        "greedy": lambda: greedy_coloring_fast(g),
+        "bitwise": lambda: bitwise_greedy_coloring(
+            g, prune_uncolored=not args.raw
+        ).colors,
+        "dsatur": lambda: dsatur_coloring(g),
+        "jp": lambda: jones_plassmann_coloring(g, seed=args.seed).colors,
+        "gunrock": lambda: gunrock_coloring(g, seed=args.seed).colors,
+    }
+    colors = algos[args.algorithm]()
+    assert_proper_coloring(g, colors)
+    print(f"{g.name}: {g.num_vertices} vertices, {g.num_undirected_edges} edges")
+    print(f"{args.algorithm}: {num_colors(colors)} colors (validated)")
+    if args.output:
+        np.save(args.output, colors)
+        print(f"colors written to {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .hw import BitColorAccelerator, HWConfig, OptimizationFlags
+    from .hw.trace import pe_utilization, render_gantt
+
+    g = _load_graph(args)
+    flags = OptimizationFlags(
+        hdc="hdc" not in args.disable,
+        bwc="bwc" not in args.disable,
+        mgr="mgr" not in args.disable,
+        puv="puv" not in args.disable,
+    )
+    cfg = HWConfig(parallelism=args.parallelism)
+    if args.cache_kb is not None:
+        cfg = HWConfig(parallelism=args.parallelism, cache_bytes=args.cache_kb << 10)
+    res = BitColorAccelerator(cfg, flags).run(g, trace=args.gantt)
+    s = res.stats
+    print(f"{g.name}: {g.num_vertices} vertices, {g.num_undirected_edges} edges")
+    print(f"config: P={cfg.parallelism} flags={flags.label()} "
+          f"cache={cfg.cache_bytes >> 10} KiB")
+    print(f"colors: {res.num_colors}")
+    print(f"makespan: {s.makespan_cycles} cycles = {res.time_seconds * 1e6:.1f} us "
+          f"({res.throughput_mcvs:.1f} MCV/s)")
+    print(f"compute/dram/stall/queue cycles: {s.compute_cycles}/"
+          f"{s.dram_cycles}/{s.stall_cycles}/{s.dram_queue_cycles}")
+    print(f"cache reads {s.cache_reads}, LDV reads {s.ldv_reads} "
+          f"(merged {s.merged_reads}), pruned {s.pruned_edges}, "
+          f"conflicts {s.conflicts}")
+    if args.gantt:
+        print("\n" + render_gantt(res.trace))
+        util = pe_utilization(res.trace)
+        print("mean PE utilization: "
+              f"{100 * sum(util.values()) / len(util):.1f}%")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from .experiments import (
+        fig3a_breakdown, fig3b_overlap, fig11_ablation, fig12_scaling,
+        fig13_comparison, fig14_resources, report, table2_preprocessing,
+        table3_datasets, table4_colors,
+    )
+
+    renderers = {
+        "table2": lambda: report.render_table2(table2_preprocessing()),
+        "table3": lambda: report.render_table3(table3_datasets()),
+        "table4": lambda: report.render_table4(table4_colors()),
+        "fig3a": lambda: report.render_fig3a(fig3a_breakdown()),
+        "fig3b": lambda: report.render_fig3b(fig3b_overlap()),
+        "fig11": lambda: report.render_fig11(fig11_ablation()),
+        "fig12": lambda: report.render_fig12(fig12_scaling()),
+        "fig13": lambda: report.render_fig13(fig13_comparison()),
+        "fig14": lambda: report.render_fig14(fig14_resources()),
+    }
+    print(renderers[args.name]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="bitcolor-repro",
+        description="BitColor (ICPP'23) reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="build a synthetic graph")
+    g.add_argument("kind", choices=["rmat", "powerlaw", "road", "community", "uniform"])
+    g.add_argument("output", help="output .npz path")
+    g.add_argument("--scale", type=int, default=12, help="log2 of vertex count")
+    g.add_argument("--degree", type=int, default=16, help="target average degree")
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(fn=cmd_generate)
+
+    c = sub.add_parser("color", help="color a graph")
+    _add_input_args(c)
+    c.add_argument(
+        "--algorithm", default="bitwise",
+        choices=["greedy", "bitwise", "dsatur", "jp", "gunrock"],
+    )
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--output", help="save the color array (.npy)")
+    c.set_defaults(fn=cmd_color)
+
+    s = sub.add_parser("simulate", help="run the accelerator model")
+    _add_input_args(s)
+    s.add_argument("--parallelism", "-p", type=int, default=16)
+    s.add_argument("--cache-kb", type=int, default=None,
+                   help="HDV cache size in KiB (default: 1024)")
+    s.add_argument("--disable", nargs="*", default=[],
+                   choices=["hdc", "bwc", "mgr", "puv"],
+                   help="optimizations to turn off")
+    s.add_argument("--gantt", action="store_true",
+                   help="print a per-PE occupancy chart")
+    s.set_defaults(fn=cmd_simulate)
+
+    e = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    e.add_argument("name", choices=[
+        "table2", "table3", "table4", "fig3a", "fig3b",
+        "fig11", "fig12", "fig13", "fig14",
+    ])
+    e.set_defaults(fn=cmd_experiment)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

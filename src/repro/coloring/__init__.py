@@ -1,0 +1,81 @@
+"""Graph-coloring algorithms: the paper's greedy variants plus baselines."""
+
+from .backtracking import chromatic_number, exact_coloring, greedy_clique_lower_bound
+from .bitset import (
+    CascadedMuxCompressor,
+    Num2BitTable,
+    bits_or,
+    bits_to_num,
+    first_free_bits,
+    first_free_color,
+    num_to_bits,
+    popcount,
+)
+from .bitwise import BitwiseResult, bitwise_greedy_coloring
+from .dsatur import dsatur_coloring
+from .greedy import GreedyResult, StageCounters, greedy_coloring, greedy_coloring_fast
+from .gunrock import GunrockResult, default_round_cap, gunrock_coloring
+from .balanced import balance_coloring, balance_ratio, balanced_greedy_coloring
+from .incremental import IncrementalColoring, IncrementalStats
+from .ordering import ORDERINGS, compare_orderings, ordering
+from .recolor import RecolorResult, iterated_greedy, kempe_chain, kempe_reduce
+from .jones_plassmann import JPResult, JPRound, jones_plassmann_coloring
+from .luby_mis import MISColoringResult, luby_mis, mis_coloring
+from .verify import (
+    UNCOLORED,
+    ColoringError,
+    assert_proper_coloring,
+    color_class_sizes,
+    find_conflicts,
+    is_proper_coloring,
+    num_colors,
+)
+
+__all__ = [
+    "chromatic_number",
+    "exact_coloring",
+    "greedy_clique_lower_bound",
+    "CascadedMuxCompressor",
+    "Num2BitTable",
+    "bits_or",
+    "bits_to_num",
+    "first_free_bits",
+    "first_free_color",
+    "num_to_bits",
+    "popcount",
+    "BitwiseResult",
+    "bitwise_greedy_coloring",
+    "dsatur_coloring",
+    "GreedyResult",
+    "StageCounters",
+    "greedy_coloring",
+    "greedy_coloring_fast",
+    "GunrockResult",
+    "default_round_cap",
+    "gunrock_coloring",
+    "balance_coloring",
+    "balance_ratio",
+    "balanced_greedy_coloring",
+    "IncrementalColoring",
+    "IncrementalStats",
+    "ORDERINGS",
+    "compare_orderings",
+    "ordering",
+    "RecolorResult",
+    "iterated_greedy",
+    "kempe_chain",
+    "kempe_reduce",
+    "JPResult",
+    "JPRound",
+    "jones_plassmann_coloring",
+    "MISColoringResult",
+    "luby_mis",
+    "mis_coloring",
+    "UNCOLORED",
+    "ColoringError",
+    "assert_proper_coloring",
+    "color_class_sizes",
+    "find_conflicts",
+    "is_proper_coloring",
+    "num_colors",
+]

@@ -1,0 +1,210 @@
+"""Bit-wise color-state primitives (Observation 1, Section 3.2.1).
+
+BitColor represents the set of colors used by a vertex's neighbours as a
+bit string: bit ``k-1`` set means color ``k`` is taken (color numbering
+starts at 1; 0 means "uncolored", all-zero bits).  The first free color is
+then a single expression instead of a loop:
+
+    first_free = (~state) & (state + 1)
+
+which isolates the lowest zero bit as a one-hot value.  Because storing a
+full one-hot word per vertex would multiply memory ~100× for 1024 colors,
+the hardware stores the compressed *color number* and converts on the fly:
+
+* decompression (number → one-hot) is a BRAM lookup table (``Num2Bit``);
+* compression (one-hot → number) is the 3-cycle cascaded-multiplexer
+  scheme of Figure 4, modelled here by :class:`CascadedMuxCompressor`.
+
+Python integers are arbitrary precision, so a color state is just an
+``int`` with no width limit; widths only matter for the hardware cost
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "first_free_bits",
+    "first_free_color",
+    "num_to_bits",
+    "bits_to_num",
+    "popcount",
+    "Num2BitTable",
+    "CascadedMuxCompressor",
+    "bits_or",
+]
+
+
+def first_free_bits(state: int) -> int:
+    """One-hot word of the lowest zero bit of ``state``.
+
+    This is the paper's Stage 1 in a single operation:
+    ``(~Color_state) & (Color_state + 1)``.
+    """
+    if state < 0:
+        raise ValueError("color state must be non-negative")
+    return (~state) & (state + 1)
+
+
+def first_free_color(state: int) -> int:
+    """The first free color *number* (1-based) for a given color state."""
+    return bits_to_num(first_free_bits(state))
+
+
+def num_to_bits(color: int) -> int:
+    """Decompress a color number to its one-hot bit word (0 stays 0)."""
+    if color < 0:
+        raise ValueError("color number must be non-negative")
+    return 0 if color == 0 else 1 << (color - 1)
+
+
+def bits_to_num(bits: int) -> int:
+    """Compress a one-hot bit word to its color number (0 stays 0).
+
+    Raises on non-one-hot input — a one-hot violation means a bug in the
+    coloring pipeline, not a recoverable condition.
+    """
+    if bits == 0:
+        return 0
+    if bits & (bits - 1):
+        raise ValueError(f"{bits:#x} is not one-hot")
+    return bits.bit_length()
+
+
+def popcount(state: int) -> int:
+    """Number of set bits (count of distinct neighbour colors)."""
+    return bin(state).count("1")
+
+
+def bits_or(words: Sequence[int]) -> int:
+    """OR-reduce a sequence of color-bit words (Stage 0 accumulation)."""
+    acc = 0
+    for w in words:
+        acc |= w
+    return acc
+
+
+class Num2BitTable:
+    """Model of the decompression lookup table (Table 1 / Section 3.2.1.4).
+
+    In hardware this is a BRAM with ``max_colors`` entries of
+    ``max_colors``-bit one-hot words.  The model precomputes the table and
+    counts lookups so the cycle model can charge one cycle each.
+    """
+
+    def __init__(self, max_colors: int = 1024):
+        if max_colors < 1:
+            raise ValueError("max_colors must be positive")
+        self.max_colors = max_colors
+        # Entry 0 is the uncolored sentinel.
+        self._table: List[int] = [0] + [1 << k for k in range(max_colors)]
+        self.lookups = 0
+
+    def decompress(self, color: int) -> int:
+        """Color number → one-hot bits, via table lookup."""
+        if not 0 <= color <= self.max_colors:
+            raise ValueError(f"color {color} outside [0, {self.max_colors}]")
+        self.lookups += 1
+        return self._table[color]
+
+    @property
+    def bram_bits(self) -> int:
+        """Storage cost of the table in bits."""
+        return (self.max_colors + 1) * self.max_colors
+
+    def reset_counters(self) -> None:
+        self.lookups = 0
+
+
+@dataclass(frozen=True)
+class _MuxLevels:
+    """Chunk widths of the three cascaded multiplexers."""
+
+    l0: int  # bits per level-0 group
+    l1: int  # bits per level-1 group (within a level-0 group)
+
+
+class CascadedMuxCompressor:
+    """3-cycle one-hot → number compressor (Figure 4).
+
+    A full compression LUT would need ``2**max_colors`` entries and a
+    loop-based log2 is slow, so the paper decomposes the index of the
+    single set bit into three fields selected by three cascaded
+    multiplexers.  For 1024 colors we use 64 groups of 16 bits, each split
+    into 4 nibbles:
+
+    * mux 0 selects the non-zero 16-bit group → top 6 index bits,
+    * mux 1 selects the non-zero nibble → next 2 bits,
+    * mux 2 selects the set bit within the nibble → bottom 2 bits.
+
+    Each mux stage is one cycle, so ``latency_cycles == 3`` regardless of
+    the input value.
+    """
+
+    LATENCY_CYCLES = 3
+
+    def __init__(self, max_colors: int = 1024, levels: _MuxLevels | None = None):
+        self.max_colors = max_colors
+        self.levels = levels or _MuxLevels(l0=16, l1=4)
+        self.compressions = 0
+
+    def compress(self, bits: int) -> int:
+        """One-hot bits → color number, following the mux decomposition."""
+        if bits == 0:
+            return 0
+        if bits & (bits - 1):
+            raise ValueError(f"{bits:#x} is not one-hot")
+        self.compressions += 1
+        l0, l1 = self.levels.l0, self.levels.l1
+        # Level 0: which l0-bit group contains the set bit.
+        g0 = 0
+        word = bits
+        while word >= (1 << l0):
+            word >>= l0
+            g0 += 1
+        # Level 1: which l1-bit sub-group within the group.
+        g1 = 0
+        while word >= (1 << l1):
+            word >>= l1
+            g1 += 1
+        # Level 2: bit position within the sub-group.
+        g2 = word.bit_length() - 1
+        index = g0 * l0 + g1 * l1 + g2
+        if index >= self.max_colors:
+            raise ValueError(f"bit index {index} exceeds max_colors {self.max_colors}")
+        return index + 1
+
+    def reset_counters(self) -> None:
+        self.compressions = 0
+
+
+# ----------------------------------------------------------------------
+# Vectorised variants (used by the batch bit-wise colorer for speed; they
+# follow the NumPy-vectorisation idiom of the HPC guides).
+# ----------------------------------------------------------------------
+
+def first_free_colors_u64(states: np.ndarray) -> np.ndarray:
+    """Vectorised first-free-color for states that fit in 63 bits.
+
+    ``states`` is a uint64 array of color-state words; the result is the
+    1-based first free color per word.  Only valid when at most 63 colors
+    are in play — callers fall back to Python ints beyond that.
+    """
+    states = np.asarray(states, dtype=np.uint64)
+    if np.any(states == np.uint64(0xFFFFFFFFFFFFFFFF)):
+        raise OverflowError("state word saturated; need wider color state")
+    lowest_zero = (~states) & (states + np.uint64(1))
+    # log2 of a one-hot uint64: float conversion is exact for < 2**53 but
+    # not above, so split high/low words.
+    hi = (lowest_zero >> np.uint64(32)).astype(np.float64)
+    lo = (lowest_zero & np.uint64(0xFFFFFFFF)).astype(np.float64)
+    out = np.where(
+        hi > 0,
+        32 + np.log2(np.maximum(hi, 1)).astype(np.int64),
+        np.log2(np.maximum(lo, 1)).astype(np.int64),
+    )
+    return out.astype(np.int64) + 1

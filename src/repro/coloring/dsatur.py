@@ -1,0 +1,59 @@
+"""DSATUR heuristic coloring (Brélaz 1979, the paper's reference [5]).
+
+Picks the uncolored vertex with the highest *saturation degree* (number of
+distinct colors among its neighbours), breaking ties by degree.  Usually
+needs fewer colors than plain greedy at higher cost; included as the
+classic reference point for color-quality comparisons in the ablations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Set
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .verify import UNCOLORED
+
+__all__ = ["dsatur_coloring"]
+
+
+def dsatur_coloring(graph: CSRGraph) -> np.ndarray:
+    """Color ``graph`` with DSATUR; returns a 1-based color array."""
+    n = graph.num_vertices
+    colors = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return colors
+    degrees = graph.degrees()
+    neighbor_colors: List[Set[int]] = [set() for _ in range(n)]
+    # Max-heap keyed by (saturation, degree); lazy deletion via stamp check.
+    heap = [(-0, -int(degrees[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    colored = 0
+
+    while colored < n:
+        while True:
+            sat_neg, _deg_neg, v = heapq.heappop(heap)
+            if colors[v] != UNCOLORED:
+                continue
+            if -sat_neg == len(neighbor_colors[v]):
+                break
+            # Stale entry: reinsert with the current saturation.
+            heapq.heappush(
+                heap, (-len(neighbor_colors[v]), -int(degrees[v]), v)
+            )
+        used = neighbor_colors[v]
+        c = 1
+        while c in used:
+            c += 1
+        colors[v] = c
+        colored += 1
+        for w in graph.neighbors(v):
+            wi = int(w)
+            if colors[wi] == UNCOLORED and c not in neighbor_colors[wi]:
+                neighbor_colors[wi].add(c)
+                heapq.heappush(
+                    heap, (-len(neighbor_colors[wi]), -int(degrees[wi]), wi)
+                )
+    return colors

@@ -1,0 +1,70 @@
+"""Experiment harness: dataset registry plus one entry point per paper table/figure."""
+
+from .datasets import DATASET_KEYS, REGISTRY, DatasetSpec, load_dataset, paper_hdv_fraction
+from .figures import (
+    AblationStep,
+    Fig13Result,
+    Fig13Row,
+    PARALLELISM_SWEEP,
+    fig3a_breakdown,
+    fig3b_overlap,
+    fig11_ablation,
+    fig12_scaling,
+    fig13_comparison,
+    fig14_resources,
+)
+from .runner import get_graph, get_spec, run_bitcolor, run_cpu, run_gpu, run_greedy
+from .tables import (
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    table2_preprocessing,
+    table3_datasets,
+    table4_colors,
+)
+from . import report
+from .paper import PAPER
+from .sensitivity import (
+    SensitivityRow,
+    sweep_cpu_memory,
+    sweep_dram_occupancy,
+    sweep_gpu_frontier_rate,
+    sweep_physical_channels,
+)
+
+__all__ = [
+    "DATASET_KEYS",
+    "REGISTRY",
+    "DatasetSpec",
+    "load_dataset",
+    "paper_hdv_fraction",
+    "AblationStep",
+    "Fig13Result",
+    "Fig13Row",
+    "PARALLELISM_SWEEP",
+    "fig3a_breakdown",
+    "fig3b_overlap",
+    "fig11_ablation",
+    "fig12_scaling",
+    "fig13_comparison",
+    "fig14_resources",
+    "get_graph",
+    "get_spec",
+    "run_bitcolor",
+    "run_cpu",
+    "run_gpu",
+    "run_greedy",
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "table2_preprocessing",
+    "table3_datasets",
+    "table4_colors",
+    "report",
+    "PAPER",
+    "SensitivityRow",
+    "sweep_cpu_memory",
+    "sweep_dram_occupancy",
+    "sweep_gpu_frontier_rate",
+    "sweep_physical_channels",
+]

@@ -1,0 +1,67 @@
+"""The paper's reported numbers, centralized.
+
+Single source of truth for every value the benches and EXPERIMENTS.md
+compare against, with the section/figure it comes from.  Keeping them in
+one place prevents the comparison targets from drifting between the
+report renderers, the benchmark assertions, and the docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["PAPER"]
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    # Figure 3(a): execution-time breakdown of basic greedy on CPU.
+    fig3a_stage_breakdown: Tuple[float, float, float] = (0.3924, 0.4653, 0.1423)
+
+    # Figure 3(b): neighbourhood overlap.
+    fig3b_average_overlap: float = 0.0496
+    fig3b_typical_ceiling: float = 0.10
+
+    # Figure 11: single-BWPE ablation endpoint (reduction vs BSL).
+    fig11_dram_reduction: float = 0.8863
+    fig11_compute_reduction: float = 0.6689
+    fig11_total_reduction: float = 0.8291
+    fig11_bwc_compute_reduction: float = 0.45
+    fig11_hdc_large_graph_dram_reduction: float = 0.55
+
+    # Figure 12: parallel scaling at P = 16.
+    fig12_speedup_range: Tuple[float, float] = (3.92, 7.01)
+
+    # Figure 13 / Section 5.3.
+    fig13_cpu_speedup_range: Tuple[float, float] = (30.0, 97.0)
+    fig13_cpu_speedup_avg: float = 54.9
+    fig13_gpu_speedup_range: Tuple[float, float] = (1.63, 6.69)
+    fig13_gpu_speedup_avg: float = 2.71
+    throughput_mcvs: Dict[str, float] = None  # set in __post_init__
+    energy_kcvj: Dict[str, float] = None
+    energy_ratio_vs_cpu: float = 13.0
+    energy_ratio_vs_gpu: float = 8.2
+
+    # Figure 14: P = 16 utilization.
+    fig14_lut_pct: float = 47.79
+    fig14_register_pct: float = 51.09
+    fig14_bram_pct: float = 96.72
+    fig14_min_frequency_mhz: float = 200.0
+
+    # Table 4: color reduction from the sorting preprocessing.
+    table4_avg_reduction: float = 0.093
+
+    # Section 4.4: multi-port cache storage advantage.
+    multiport_ratio_formula: str = "2/P"
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "throughput_mcvs", {"cpu": 0.88, "gpu": 15.3, "bitcolor": 41.6}
+        )
+        object.__setattr__(
+            self, "energy_kcvj", {"cpu": 12.0, "gpu": 19.0, "bitcolor": 156.0}
+        )
+
+
+PAPER = PaperNumbers()

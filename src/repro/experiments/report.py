@@ -1,0 +1,188 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints these blocks; EXPERIMENTS.md embeds them.
+Rendering is deliberately dependency-free (no tabulate / rich).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .figures import AblationStep, Fig13Result
+from .tables import Table2Row, Table3Row, Table4Row
+
+__all__ = [
+    "render_table",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_fig3a",
+    "render_fig3b",
+    "render_fig11",
+    "render_fig12",
+    "render_fig13",
+    "render_fig14",
+]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*["-" * w for w in widths])]
+    lines.extend(fmt.format(*row) for row in srows)
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    return render_table(
+        ["Graph", "Reorder (ms)", "Coloring (ms)", "Reorder/Coloring"],
+        [
+            (r.dataset, f"{r.reorder_ms:.2f}", f"{r.coloring_ms:.2f}",
+             f"{100 * r.reorder_fraction:.1f}%")
+            for r in rows
+        ],
+    )
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    return render_table(
+        ["Graph", "Name", "Category", "Paper N", "Paper E",
+         "Stand-in N", "Stand-in E", "Paper deg", "Stand-in deg", "HDV frac"],
+        [
+            (r.dataset, r.full_name, r.category, r.paper_nodes, r.paper_edges,
+             r.standin_nodes, r.standin_edges,
+             f"{r.paper_avg_degree:.1f}", f"{r.standin_avg_degree:.1f}",
+             f"{r.hdv_fraction:.3f}")
+            for r in rows
+        ],
+    )
+
+
+def render_table4(rows: List[Table4Row]) -> str:
+    avg = sum(r.reduction for r in rows) / max(len(rows), 1)
+    body = render_table(
+        ["Graph", "BSL colors", "Sorted colors", "Reduction",
+         "Paper BSL", "Paper sorted"],
+        [
+            (r.dataset, r.colors_bsl, r.colors_sorted,
+             f"{100 * r.reduction:.1f}%",
+             r.paper_bsl if r.paper_bsl is not None else "-",
+             r.paper_sorted if r.paper_sorted is not None else "-")
+            for r in rows
+        ],
+    )
+    return f"{body}\naverage reduction: {100 * avg:.1f}%  (paper: 9.3%)"
+
+
+def render_fig3a(rows: Dict[str, Dict[str, float]]) -> str:
+    return render_table(
+        ["Graph", "Stage0 %", "Stage1 %", "Stage2 %"],
+        [
+            (k, f"{100 * v['stage0']:.2f}", f"{100 * v['stage1']:.2f}",
+             f"{100 * v['stage2']:.2f}")
+            for k, v in rows.items()
+        ],
+    )
+
+
+def render_fig3b(rows: Dict[str, Dict[int, float]]) -> str:
+    intervals = sorted(next(iter(rows.values())).keys())
+    return render_table(
+        ["Graph"] + [f"k={k}" for k in intervals],
+        [
+            (g,) + tuple(f"{100 * vals[k]:.3f}%" for k in intervals)
+            for g, vals in rows.items()
+        ],
+    )
+
+
+def render_fig11(result: Dict[str, List[AblationStep]]) -> str:
+    blocks = []
+    for key, steps in result.items():
+        rows = [
+            (s.label, s.compute_cycles, s.dram_cycles, s.total_cycles,
+             f"{s.compute_norm:.3f}", f"{s.dram_norm:.3f}", f"{s.total_norm:.3f}")
+            for s in steps
+        ]
+        blocks.append(
+            f"[{key}]\n"
+            + render_table(
+                ["Step", "Compute", "DRAM", "Total",
+                 "Compute(norm)", "DRAM(norm)", "Total(norm)"],
+                rows,
+            )
+        )
+    # Aggregate endpoint reductions (the paper's 88.63 / 66.89 / 82.91 %).
+    finals = [steps[-1] for steps in result.values()]
+    n = max(len(finals), 1)
+    dram_red = 100 * (1 - sum(s.dram_norm for s in finals) / n)
+    comp_red = 100 * (1 - sum(s.compute_norm for s in finals) / n)
+    tot_red = 100 * (1 - sum(s.total_norm for s in finals) / n)
+    blocks.append(
+        f"average reductions vs BSL — DRAM: {dram_red:.2f}% (paper 88.63%), "
+        f"compute: {comp_red:.2f}% (paper 66.89%), "
+        f"total: {tot_red:.2f}% (paper 82.91%)"
+    )
+    return "\n\n".join(blocks)
+
+
+def render_fig12(result: Dict[str, Dict[int, float]]) -> str:
+    ps = sorted(next(iter(result.values())).keys())
+    body = render_table(
+        ["Graph"] + [f"P={p}" for p in ps],
+        [
+            (g,) + tuple(f"{vals[p]:.2f}x" for p in ps)
+            for g, vals in result.items()
+        ],
+    )
+    top = [vals[ps[-1]] for vals in result.values()]
+    return (
+        f"{body}\nP={ps[-1]} speedup range: {min(top):.2f}x – {max(top):.2f}x "
+        f"(paper: 3.92x – 7.01x)"
+    )
+
+
+def render_fig13(result: Fig13Result) -> str:
+    body = render_table(
+        ["Graph", "CPU (s)", "GPU (s)", "BitColor (s)",
+         "vs CPU", "vs GPU"],
+        [
+            (r.dataset, f"{r.cpu_time_s:.4f}", f"{r.gpu_time_s:.4f}",
+             f"{r.fpga_time_s:.5f}", f"{r.speedup_vs_cpu:.1f}x",
+             f"{r.speedup_vs_gpu:.2f}x")
+            for r in result.rows
+        ],
+    )
+    t = result.avg_mcvs()
+    e = result.avg_kcvj()
+    return (
+        f"{body}\n"
+        f"average speedup vs CPU: {result.avg_speedup_vs_cpu:.1f}x (paper 54.9x); "
+        f"vs GPU: {result.avg_speedup_vs_gpu:.2f}x (paper 2.71x)\n"
+        f"throughput MCV/S — CPU {t['cpu']:.2f} (paper 0.88), "
+        f"GPU {t['gpu']:.1f} (paper 15.3), BitColor {t['bitcolor']:.1f} (paper 41.6)\n"
+        f"energy KCV/J — CPU {e['cpu']:.0f} (paper 12), GPU {e['gpu']:.0f} (paper 19), "
+        f"BitColor {e['bitcolor']:.0f} (paper 156)"
+    )
+
+
+def render_fig14(reports) -> str:
+    rows = []
+    for r in reports:
+        u = r.utilization()
+        rows.append(
+            (f"P={r.parallelism}", r.luts, f"{u['lut_pct']:.2f}%",
+             r.registers, f"{u['register_pct']:.2f}%",
+             r.bram_blocks, f"{u['bram_pct']:.2f}%",
+             f"{r.frequency_mhz:.0f} MHz")
+        )
+    return render_table(
+        ["Config", "LUTs", "LUT %", "Registers", "FF %",
+         "BRAM blocks", "BRAM %", "Frequency"],
+        rows,
+    ) + "\npaper at P=16: 47.79% LUTs, 51.09% FFs, 96.72% BRAM, >200 MHz"

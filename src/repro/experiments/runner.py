@@ -1,0 +1,85 @@
+"""Uniform experiment harness.
+
+Each paper experiment needs some subset of: the preprocessed stand-in
+graph, a BitColor simulation at some parallelism/flag setting, the CPU
+model run and the GPU model run.  This module provides those as memoised
+single calls so the per-figure entry points in :mod:`repro.experiments.figures`
+and :mod:`repro.experiments.tables` stay declarative and cheap to combine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from ..coloring.greedy import GreedyResult, greedy_coloring
+from ..graph.csr import CSRGraph
+from ..hw.accelerator import AcceleratorResult, BitColorAccelerator
+from ..hw.config import HWConfig, OptimizationFlags
+from ..perfmodel.cpu import CPUModel, CPURunResult
+from ..perfmodel.gpu import GPUModel, GPURunResult
+from .datasets import REGISTRY, DatasetSpec, load_dataset
+
+__all__ = [
+    "get_spec",
+    "get_graph",
+    "run_bitcolor",
+    "run_cpu",
+    "run_gpu",
+    "run_greedy",
+]
+
+
+def get_spec(key: str) -> DatasetSpec:
+    try:
+        return REGISTRY[key]
+    except KeyError:
+        raise KeyError(f"unknown dataset {key!r}") from None
+
+
+def get_graph(key: str, *, preprocessed: bool = True) -> CSRGraph:
+    return load_dataset(key, preprocessed=preprocessed)
+
+
+@lru_cache(maxsize=None)
+def run_bitcolor(
+    key: str,
+    parallelism: int = 16,
+    flags: OptimizationFlags = OptimizationFlags.all(),
+) -> AcceleratorResult:
+    """Simulate BitColor on a stand-in with paper-faithful cache scaling."""
+    spec = get_spec(key)
+    graph = get_graph(key)
+    config = spec.config_for(parallelism, graph.num_vertices)
+    return BitColorAccelerator(config, flags).run(graph)
+
+
+@lru_cache(maxsize=None)
+def run_greedy(
+    key: str, *, preprocessed: bool = True, clear_mode: str = "touched"
+) -> GreedyResult:
+    """Sequential Algorithm 1 with counters on a stand-in."""
+    return greedy_coloring(
+        get_graph(key, preprocessed=preprocessed), clear_mode=clear_mode
+    )
+
+
+@lru_cache(maxsize=None)
+def run_cpu(key: str) -> CPURunResult:
+    """CPU-model run (Algorithm 1 work converted to Xeon time).
+
+    Uses the paper-literal flag clear (Algorithm 1 lines 17–19) and
+    prices memory at the paper graph's scale — see CPUModel.run.
+    """
+    return CPUModel().run(
+        get_graph(key),
+        greedy=run_greedy(key, clear_mode="paper"),
+        color_array_vertices=get_spec(key).paper_nodes,
+    )
+
+
+@lru_cache(maxsize=None)
+def run_gpu(key: str, seed: int = 0) -> GPURunResult:
+    """GPU-model run (Jones–Plassmann work converted to Titan V time)."""
+    return GPUModel().run(get_graph(key), seed=seed)

@@ -1,0 +1,167 @@
+"""One entry point per paper table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..coloring.greedy import greedy_coloring_fast
+from ..coloring.verify import num_colors
+from ..graph.stats import degree_stats
+from ..perfmodel.cpu import CPUModel
+from .datasets import DATASET_KEYS, REGISTRY
+from .runner import get_graph, get_spec, run_greedy
+
+__all__ = [
+    "Table2Row",
+    "table2_preprocessing",
+    "Table3Row",
+    "table3_datasets",
+    "Table4Row",
+    "table4_colors",
+]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Preprocessing vs coloring time, single CPU thread (milliseconds).
+
+    Modelled at *paper scale*: per-edge/per-vertex operation counts are
+    measured on the stand-in and scaled to the paper graph's dimensions,
+    then priced by the CPU cost model (whose memory costs depend on the
+    paper-scale color-array size).  The reproduced claim is the *ratio*:
+    reordering is a small fraction of coloring time.
+    """
+
+    dataset: str
+    reorder_ms: float
+    coloring_ms: float
+
+    @property
+    def reorder_fraction(self) -> float:
+        return self.reorder_ms / max(self.coloring_ms, 1e-12)
+
+
+def table2_preprocessing(keys: Sequence[str] = DATASET_KEYS) -> List[Table2Row]:
+    model = CPUModel()
+    rows: List[Table2Row] = []
+    for key in keys:
+        spec = get_spec(key)
+        graph = get_graph(key)
+        greedy = run_greedy(key, clear_mode="paper")
+        c = greedy.counters
+        # Scale measured op counts to paper dimensions.
+        n_s, e_s = graph.num_vertices, graph.num_edges
+        n_p, e_p = spec.paper_nodes, 2 * spec.paper_edges
+        stage0 = c.stage0_ops * (e_p / max(e_s, 1))
+        # Stage-1 work under the paper-literal clear is a fixed sweep per
+        # vertex — scale with vertices.
+        stage1 = c.stage1_ops * (n_p / max(n_s, 1))
+        stage2 = c.stage2_ops * (n_p / max(n_s, 1))
+        p = model.params
+        rand = p.random_read_cycles(n_p * 2)
+        cycles = (
+            stage0 * (rand + p.edge_stream_cycles)
+            + stage1 * p.flag_op_cycles
+            + stage2 * p.vertex_overhead_cycles
+        )
+        coloring_s = cycles / (p.frequency_ghz * 1e9)
+
+        class _PaperDims:
+            num_vertices = n_p
+            num_edges = e_p
+
+        reorder_s = model.preprocessing_time_seconds(_PaperDims)  # type: ignore[arg-type]
+        rows.append(
+            Table2Row(
+                dataset=key,
+                reorder_ms=reorder_s * 1e3,
+                coloring_ms=coloring_s * 1e3,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """Dataset inventory: paper graph and stand-in side by side."""
+
+    dataset: str
+    full_name: str
+    category: str
+    paper_nodes: int
+    paper_edges: int
+    standin_nodes: int
+    standin_edges: int  # undirected
+    paper_avg_degree: float
+    standin_avg_degree: float
+    hdv_fraction: float
+
+
+def table3_datasets(keys: Sequence[str] = DATASET_KEYS) -> List[Table3Row]:
+    rows: List[Table3Row] = []
+    for key in keys:
+        spec = REGISTRY[key]
+        g = get_graph(key)
+        st = degree_stats(g)
+        rows.append(
+            Table3Row(
+                dataset=key,
+                full_name=spec.full_name,
+                category=spec.category,
+                paper_nodes=spec.paper_nodes,
+                paper_edges=spec.paper_edges,
+                standin_nodes=g.num_vertices,
+                standin_edges=g.num_undirected_edges,
+                paper_avg_degree=spec.paper_avg_degree,
+                standin_avg_degree=st.mean_degree,
+                hdv_fraction=spec.hdv_fraction,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """Color counts without vs with the sorting preprocessing.
+
+    The paper reports a 9.3 % average color reduction from its sorting
+    scheme.  Within-vertex edge order cannot change a sequential greedy
+    result (the neighbour color *set* is what matters), so the reduction
+    is attributable to the ordering component of the preprocessing: BSL
+    here is greedy in natural vertex order on the raw graph; "sorted" is
+    greedy after the full DBG + edge-sort pipeline (descending-degree
+    processing order).  See EXPERIMENTS.md for the interpretation note.
+    """
+
+    dataset: str
+    colors_bsl: int
+    colors_sorted: int
+    paper_bsl: int | None
+    paper_sorted: int | None
+
+    @property
+    def reduction(self) -> float:
+        if self.colors_bsl == 0:
+            return 0.0
+        return 1.0 - self.colors_sorted / self.colors_bsl
+
+
+def table4_colors(keys: Sequence[str] = DATASET_KEYS) -> List[Table4Row]:
+    rows: List[Table4Row] = []
+    for key in keys:
+        spec = REGISTRY[key]
+        raw = get_graph(key, preprocessed=False)
+        pre = get_graph(key)
+        bsl = num_colors(greedy_coloring_fast(raw))
+        srt = num_colors(greedy_coloring_fast(pre))
+        rows.append(
+            Table4Row(
+                dataset=key,
+                colors_bsl=bsl,
+                colors_sorted=srt,
+                paper_bsl=spec.paper_colors_bsl,
+                paper_sorted=spec.paper_colors_sorted,
+            )
+        )
+    return rows

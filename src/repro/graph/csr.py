@@ -1,0 +1,339 @@
+"""Compressed Sparse Row (CSR) graph representation.
+
+BitColor (and this reproduction) stores graphs in the standard CSR format
+described in Section 2.1 of the paper: two numpy arrays, ``offsets`` and
+``edges``.  ``offsets[i]`` is the index in ``edges`` of the first neighbour
+of vertex ``i``; ``offsets[i + 1]`` is one past its last neighbour.  The
+values in ``edges`` are destination vertex indices.
+
+The class is deliberately immutable after construction: preprocessing steps
+(reordering, edge sorting) return *new* :class:`CSRGraph` instances so that
+experiments can hold both the raw and the preprocessed graph at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised when a graph is malformed or an operation's preconditions fail."""
+
+
+def _as_index_array(values: Sequence[int], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise GraphError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An unweighted directed graph in CSR format.
+
+    Undirected graphs (the only kind the paper evaluates) are stored with
+    both edge directions present; :meth:`from_edge_list` with
+    ``symmetrize=True`` (the default) takes care of that.
+
+    Attributes
+    ----------
+    offsets:
+        ``int64`` array of length ``num_vertices + 1``.  Monotone
+        non-decreasing, ``offsets[0] == 0`` and
+        ``offsets[-1] == num_edges``.
+    edges:
+        ``int64`` array of destination vertex indices, grouped by source.
+    """
+
+    offsets: np.ndarray
+    edges: np.ndarray
+    name: str = "graph"
+    meta: dict = field(default_factory=dict, compare=False)
+
+    # ------------------------------------------------------------------
+    # Construction & validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        offsets = _as_index_array(self.offsets, "offsets")
+        edges = _as_index_array(self.edges, "edges")
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "edges", edges)
+        if offsets.size == 0:
+            raise GraphError("offsets must contain at least one entry")
+        if offsets[0] != 0:
+            raise GraphError("offsets[0] must be 0")
+        if offsets[-1] != edges.size:
+            raise GraphError(
+                f"offsets[-1] ({offsets[-1]}) must equal len(edges) ({edges.size})"
+            )
+        if np.any(np.diff(offsets) < 0):
+            raise GraphError("offsets must be monotone non-decreasing")
+        n = offsets.size - 1
+        if edges.size and (edges.min() < 0 or edges.max() >= n):
+            raise GraphError("edge destination out of range")
+        # Make the arrays read-only so accidental in-place mutation by a
+        # simulator component is an error rather than silent corruption.
+        offsets.setflags(write=False)
+        edges.setflags(write=False)
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        num_vertices: int,
+        edge_list: Iterable[Tuple[int, int]],
+        *,
+        symmetrize: bool = True,
+        dedup: bool = True,
+        drop_self_loops: bool = True,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a CSR graph from ``(src, dst)`` pairs.
+
+        Parameters
+        ----------
+        symmetrize:
+            Store both ``(u, v)`` and ``(v, u)`` — required for undirected
+            coloring semantics.
+        dedup:
+            Remove duplicate edges.
+        drop_self_loops:
+            Remove ``(v, v)`` edges; a self loop would make the vertex
+            uncolorable under proper-coloring rules.
+        """
+        pairs = np.asarray(list(edge_list), dtype=np.int64)
+        if pairs.size == 0:
+            pairs = pairs.reshape(0, 2)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise GraphError("edge_list must contain (src, dst) pairs")
+        return cls.from_arrays(
+            num_vertices,
+            pairs[:, 0],
+            pairs[:, 1],
+            symmetrize=symmetrize,
+            dedup=dedup,
+            drop_self_loops=drop_self_loops,
+            name=name,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        symmetrize: bool = True,
+        dedup: bool = True,
+        drop_self_loops: bool = True,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Vectorised construction from parallel ``src``/``dst`` arrays."""
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.size != dst.size:
+            raise GraphError("src and dst must have the same length")
+        if src.size:
+            lo = min(src.min(), dst.min())
+            hi = max(src.max(), dst.max())
+            if lo < 0 or hi >= num_vertices:
+                raise GraphError("edge endpoint out of range")
+        if drop_self_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        if symmetrize:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if dedup and src.size:
+            # Encode each edge as a single integer key for a fast unique pass.
+            keys = src * np.int64(num_vertices) + dst
+            _, idx = np.unique(keys, return_index=True)
+            src, dst = src[idx], dst[idx]
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        counts = np.bincount(src, minlength=num_vertices)
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(offsets=offsets, edges=dst, name=name)
+
+    @classmethod
+    def empty(cls, num_vertices: int, name: str = "empty") -> "CSRGraph":
+        """A graph with ``num_vertices`` vertices and no edges."""
+        return cls(
+            offsets=np.zeros(num_vertices + 1, dtype=np.int64),
+            edges=np.zeros(0, dtype=np.int64),
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edge slots (twice the undirected edge count)."""
+        return int(self.edges.size)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        return self.num_edges // 2
+
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (== in-degree for symmetric graphs)."""
+        return np.diff(self.offsets)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex (counts of appearances in ``edges``)."""
+        return np.bincount(self.edges, minlength=self.num_vertices)
+
+    def max_degree(self) -> int:
+        degs = self.degrees()
+        return int(degs.max()) if degs.size else 0
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of ``v``'s neighbour list."""
+        self._check_vertex(v)
+        return self.edges[self.offsets[v] : self.offsets[v + 1]]
+
+    def edge_range(self, v: int) -> Tuple[int, int]:
+        """``(s_e, d_e)`` — start and end indices of ``v``'s edges.
+
+        These are exactly the values the Task Dispatch Unit sends to a BWPE.
+        """
+        self._check_vertex(v)
+        return int(self.offsets[v]), int(self.offsets[v + 1])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        if nbrs.size == 0:
+            return False
+        if self.meta.get("edges_sorted"):
+            i = np.searchsorted(nbrs, v)
+            return bool(i < nbrs.size and nbrs[i] == v)
+        return bool(np.any(nbrs == v))
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield every directed ``(src, dst)`` pair."""
+        for v in range(self.num_vertices):
+            for w in self.neighbors(v):
+                yield v, int(w)
+
+    def edge_array(self) -> np.ndarray:
+        """``(num_edges, 2)`` array of directed edges."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
+        return np.column_stack([src, self.edges])
+
+    def source_of_edge_slots(self) -> np.ndarray:
+        """For each slot in ``edges``, the source vertex of that slot."""
+        return np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+    def is_symmetric(self) -> bool:
+        """True when every edge has its reverse present (undirected graph)."""
+        fwd = self.edge_array()
+        if fwd.size == 0:
+            return True
+        n = np.int64(self.num_vertices)
+        keys = np.sort(fwd[:, 0] * n + fwd[:, 1])
+        rkeys = np.sort(fwd[:, 1] * n + fwd[:, 0])
+        return bool(np.array_equal(keys, rkeys))
+
+    def has_sorted_edges(self) -> bool:
+        """True when each vertex's neighbour list is ascending (MGR precondition)."""
+        for v in range(self.num_vertices):
+            nbrs = self.neighbors(v)
+            if nbrs.size > 1 and np.any(np.diff(nbrs) < 0):
+                return False
+        return True
+
+    def has_duplicate_edges(self) -> bool:
+        fwd = self.edge_array()
+        if fwd.size == 0:
+            return False
+        keys = fwd[:, 0] * np.int64(self.num_vertices) + fwd[:, 1]
+        return bool(np.unique(keys).size != keys.size)
+
+    def has_self_loops(self) -> bool:
+        return bool(np.any(self.source_of_edge_slots() == self.edges))
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_sorted_edges(self) -> "CSRGraph":
+        """Return a copy whose per-vertex neighbour lists are ascending.
+
+        This is the paper's "edge sorting" preprocessing step (Section
+        3.2.2, strategy 2) that enables DRAM read merging and early pruning.
+        """
+        edges = self.edges.copy()
+        for v in range(self.num_vertices):
+            s, e = self.offsets[v], self.offsets[v + 1]
+            edges[s:e] = np.sort(edges[s:e])
+        g = CSRGraph(offsets=self.offsets.copy(), edges=edges, name=self.name)
+        g.meta.update(self.meta)
+        g.meta["edges_sorted"] = True
+        return g
+
+    def subgraph(self, vertices: Sequence[int], name: Optional[str] = None) -> "CSRGraph":
+        """Induced subgraph on ``vertices``, renumbered ``0..len(vertices)-1``."""
+        vertices = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+        for v in vertices:
+            self._check_vertex(int(v))
+        remap = -np.ones(self.num_vertices, dtype=np.int64)
+        remap[vertices] = np.arange(vertices.size)
+        srcs, dsts = [], []
+        for v in vertices:
+            nbrs = self.neighbors(int(v))
+            keep = remap[nbrs] >= 0
+            kept = nbrs[keep]
+            srcs.append(np.full(kept.size, remap[v]))
+            dsts.append(remap[kept])
+        src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
+        dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
+        return CSRGraph.from_arrays(
+            vertices.size, src, dst, symmetrize=False, dedup=False,
+            name=name or f"{self.name}-sub",
+        )
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (undirected)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_vertices))
+        g.add_edges_from((u, v) for u, v in self.iter_edges() if u < v)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, name: str = "nx") -> "CSRGraph":
+        nodes = sorted(g.nodes())
+        remap = {v: i for i, v in enumerate(nodes)}
+        edges = [(remap[u], remap[v]) for u, v in g.edges()]
+        return cls.from_edge_list(len(nodes), edges, symmetrize=True, name=name)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(f"vertex {v} out of range [0, {self.num_vertices})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"directed_edges={self.num_edges})"
+        )

@@ -1,0 +1,107 @@
+"""Degeneracy (k-core) decomposition.
+
+The degeneracy ``d`` of a graph is the smallest number such that every
+subgraph has a vertex of degree ≤ d.  It matters to coloring twice:
+
+* greedy coloring in *smallest-last* order (the reverse of the
+  degeneracy-removal order, Matula & Beck) uses at most ``d + 1``
+  colors — often far below the max-degree bound and a strong
+  alternative to the paper's descending-degree (DBG) order;
+* ``d + 1`` is also an upper bound certificate that the exact solver
+  and the ordering ablations check against.
+
+The implementation is the standard linear-time bucket algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["CoreDecomposition", "core_decomposition", "degeneracy", "degeneracy_order"]
+
+
+@dataclass(frozen=True)
+class CoreDecomposition:
+    """Result of the k-core peeling.
+
+    Attributes
+    ----------
+    core_numbers:
+        ``core_numbers[v]`` — the largest k such that v belongs to the
+        k-core.
+    removal_order:
+        Vertices in the order peeled (always a minimum-degree vertex of
+        the remaining graph).
+    degeneracy:
+        ``max(core_numbers)`` (0 for edgeless graphs).
+    """
+
+    core_numbers: np.ndarray
+    removal_order: np.ndarray
+
+    @property
+    def degeneracy(self) -> int:
+        return int(self.core_numbers.max()) if self.core_numbers.size else 0
+
+    def k_core_vertices(self, k: int) -> np.ndarray:
+        """Vertices of the k-core (possibly empty)."""
+        return np.nonzero(self.core_numbers >= k)[0]
+
+
+def core_decomposition(graph: CSRGraph) -> CoreDecomposition:
+    """Linear-time k-core peeling (bucket queue by current degree)."""
+    n = graph.num_vertices
+    if n == 0:
+        return CoreDecomposition(
+            core_numbers=np.zeros(0, dtype=np.int64),
+            removal_order=np.zeros(0, dtype=np.int64),
+        )
+    deg = graph.degrees().copy()
+    max_deg = int(deg.max()) if deg.size else 0
+    # Bucket sort vertices by degree: pos/vert/bucket-start arrays (the
+    # classic Batagelj–Zaveršnik layout).
+    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
+    counts = np.bincount(deg, minlength=max_deg + 1)
+    np.cumsum(counts, out=bin_start[1:])
+    vert = np.argsort(deg, kind="stable").astype(np.int64)
+    pos = np.empty(n, dtype=np.int64)
+    pos[vert] = np.arange(n)
+    curr_bin = bin_start[:-1].copy()
+
+    core = deg.copy()
+    removal = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        v = int(vert[i])
+        removal[i] = v
+        for w in graph.neighbors(v):
+            w = int(w)
+            if core[w] > core[v]:
+                # Move w one bucket down: swap with the first vertex of
+                # its current bucket, then shrink that bucket.
+                dw = core[w]
+                pw = pos[w]
+                start = curr_bin[dw]
+                u = int(vert[start])
+                if u != w:
+                    vert[start], vert[pw] = w, u
+                    pos[w], pos[u] = start, pw
+                curr_bin[dw] += 1
+                core[w] -= 1
+    return CoreDecomposition(core_numbers=core, removal_order=removal)
+
+
+def degeneracy(graph: CSRGraph) -> int:
+    """The graph's degeneracy (max core number)."""
+    return core_decomposition(graph).degeneracy
+
+
+def degeneracy_order(graph: CSRGraph) -> np.ndarray:
+    """Smallest-last vertex order: reverse of the peeling order.
+
+    Greedy coloring in this order needs at most ``degeneracy + 1`` colors.
+    """
+    return core_decomposition(graph).removal_order[::-1].copy()

@@ -1,0 +1,118 @@
+"""Graph traversal utilities: BFS, connected components, distance probes.
+
+Support routines for the examples and ablations — e.g. validating that a
+road stand-in is connected before scheduling over it, or measuring how
+BFS levels relate to the iteration counts of round-based coloring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "bfs_levels",
+    "connected_components",
+    "ComponentSummary",
+    "component_summary",
+    "is_connected",
+    "eccentricity_estimate",
+]
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """BFS distance from ``source`` (-1 for unreachable vertices)."""
+    graph._check_vertex(source)
+    n = graph.num_vertices
+    level = -np.ones(n, dtype=np.int64)
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        d += 1
+        nxt: List[int] = []
+        for v in frontier:
+            for w in graph.neighbors(int(v)):
+                w = int(w)
+                if level[w] < 0:
+                    level[w] = d
+                    nxt.append(w)
+        frontier = np.asarray(nxt, dtype=np.int64)
+    return level
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component id per vertex (ids are 0-based, in discovery order)."""
+    n = graph.num_vertices
+    comp = -np.ones(n, dtype=np.int64)
+    cid = 0
+    for s in range(n):
+        if comp[s] >= 0:
+            continue
+        comp[s] = cid
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                w = int(w)
+                if comp[w] < 0:
+                    comp[w] = cid
+                    queue.append(w)
+        cid += 1
+    return comp
+
+
+@dataclass(frozen=True)
+class ComponentSummary:
+    num_components: int
+    largest_size: int
+    largest_fraction: float
+    sizes: Tuple[int, ...]
+
+
+def component_summary(graph: CSRGraph) -> ComponentSummary:
+    comp = connected_components(graph)
+    if comp.size == 0:
+        return ComponentSummary(0, 0, 0.0, ())
+    sizes = np.bincount(comp)
+    order = np.sort(sizes)[::-1]
+    return ComponentSummary(
+        num_components=int(sizes.size),
+        largest_size=int(order[0]),
+        largest_fraction=float(order[0] / comp.size),
+        sizes=tuple(int(s) for s in order),
+    )
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    if graph.num_vertices == 0:
+        return True
+    return bool((bfs_levels(graph, 0) >= 0).all())
+
+
+def eccentricity_estimate(
+    graph: CSRGraph, *, probes: int = 4, seed: int = 0
+) -> int:
+    """Lower bound on the diameter via double-sweep BFS probes.
+
+    Each probe BFSes from a random vertex, then from the farthest vertex
+    found; the max distance seen is a classic tight diameter lower bound.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    gen = np.random.default_rng(seed)
+    best = 0
+    for _ in range(max(probes, 1)):
+        s = int(gen.integers(n))
+        lv = bfs_levels(graph, s)
+        reach = np.nonzero(lv >= 0)[0]
+        far = int(reach[np.argmax(lv[reach])])
+        lv2 = bfs_levels(graph, far)
+        best = max(best, int(lv2.max()))
+    return best

@@ -1,0 +1,253 @@
+"""Bit-Wise Processing Engine (Section 4.2, Figure 7).
+
+A BWPE colors one source vertex at a time.  Its work is modelled in the
+same two pipelines as the paper:
+
+* the **color fetching pipeline** walks the edge list (Step 1), prunes
+  uncolored neighbours (Step 2), checks the data conflict table (Step 3)
+  and fetches colors from the HDV cache or the Color Loader (Step 4);
+* the **vertex coloring pipeline** decompresses and ORs neighbour colors
+  (Step 5), folds in deferred conflict results (Step 6), applies the
+  AND-NOT first-free-color expression (Step 7) and compresses/writes the
+  result (Step 8), forwarding it to peer DCTs.
+
+Execution is split into :meth:`BWPE.traverse` (Steps 1–5, which can run
+as soon as the task is dispatched) and :meth:`BWPE.finalize` (Steps 6–8,
+which may stall until conflicting peers complete).  The accelerator's
+event loop calls them in order and inserts the stall between them.
+
+Cycle accounting is kept in two buckets, ``compute_cycles`` and
+``dram_cycles``, because the paper's Figure 11 reports exactly that
+split.  Every optimization toggle changes the accounting the way the
+paper describes; the *functional* result (which color) is identical for
+every toggle combination — the optimizations are work-savers, not
+semantics-changers — and tests assert this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..coloring.bitset import CascadedMuxCompressor, Num2BitTable, first_free_bits
+from .cache import HDVColorCache
+from .color_loader import ColorLoader
+from .config import HWConfig, OptimizationFlags
+from .conflict import DataConflictTable
+from .dram import DRAMChannel
+
+__all__ = ["TaskExecution", "BWPE"]
+
+
+@dataclass
+class TaskExecution:
+    """Result and accounting of coloring one source vertex."""
+
+    v_src: int
+    seq: int
+    color: int = 0
+    color_bits: int = 0
+
+    # Cycle buckets (Figure 11's split).
+    compute_cycles: int = 0
+    dram_cycles: int = 0
+
+    # Work counters.
+    neighbors_total: int = 0
+    neighbors_processed: int = 0
+    pruned: int = 0
+    deferred_peers: List[int] = field(default_factory=list)
+    cache_reads: int = 0
+    ldv_reads: int = 0
+    merged_reads: int = 0
+    edge_blocks_fetched: int = 0
+    edge_blocks_saved: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.dram_cycles
+
+    @property
+    def has_conflicts(self) -> bool:
+        return bool(self.deferred_peers)
+
+
+class BWPE:
+    """One bit-wise processing engine with its private datapath."""
+
+    def __init__(
+        self,
+        pe_id: int,
+        config: HWConfig,
+        flags: OptimizationFlags,
+        *,
+        cache: Optional[HDVColorCache],
+        loader: ColorLoader,
+        channel: DRAMChannel,
+        dct: DataConflictTable,
+    ):
+        self.pe_id = pe_id
+        self.config = config
+        self.flags = flags
+        self.cache = cache
+        self.loader = loader
+        self.channel = channel
+        self.dct = dct
+        self.num2bit = Num2BitTable(config.max_colors)
+        self.compressor = CascadedMuxCompressor(config.max_colors)
+        self._state_bits = 0
+        self._current: Optional[TaskExecution] = None
+        # High-water mark of colors this engine has seen — the extent of
+        # flag array the non-BWC baseline must clear per vertex.
+        self._max_color_seen = 1
+
+    # ------------------------------------------------------------------
+    # Steps 1–5: color fetching + OR accumulation
+    # ------------------------------------------------------------------
+    def traverse(
+        self,
+        v_src: int,
+        neighbors: np.ndarray,
+        seq: int,
+        v_t: int,
+    ) -> TaskExecution:
+        """Walk the edge list and accumulate the neighbour color state.
+
+        ``neighbors`` is the CSR slice for ``v_src`` (ascending when the
+        graph was edge-sorted).  ``seq`` is the dispatch sequence number
+        used for conflict resolution.  ``v_t`` is the HDV threshold.
+        """
+        if self._current is not None:
+            raise RuntimeError(f"PE {self.pe_id} already has a task in flight")
+        cfg = self.config
+        flags = self.flags
+        task = TaskExecution(v_src=v_src, seq=seq, neighbors_total=int(neighbors.size))
+        self.dct.reset_flags()
+        self._state_bits = 0
+
+        # Task setup: dispatcher loads v_src, s_e, d_e and DCT config.
+        task.compute_cycles += cfg.task_setup_cycles
+        # Edge streaming: first block is a random DRAM access; later blocks
+        # stream behind the ping-pong buffer and overlap with processing.
+        per_block = cfg.edges_per_block
+        self.loader.reset_stream()
+
+        consumed = 0
+        state = 0
+        sorted_edges = bool(neighbors.size < 2 or np.all(np.diff(neighbors) >= 0))
+        for v_des in neighbors:
+            v_des = int(v_des)
+            consumed += 1
+            # Step 2 — prune uncolored vertices (needs DBG ascending order).
+            if flags.puv and v_des > v_src:
+                task.pruned += 1
+                task.compute_cycles += 1  # the comparator
+                if sorted_edges:
+                    # All remaining destinations are larger: prune the tail
+                    # without even streaming its edge blocks.
+                    task.pruned += int(neighbors.size) - consumed
+                    break
+                continue
+            # Step 3 — data conflict check against peer BWPEs.
+            task.compute_cycles += 1
+            if self.dct.check(v_des, seq):
+                peers = [e.pe_id for e in self.dct.flagged() if e.vertex == v_des]
+                task.deferred_peers.extend(
+                    p for p in peers if p not in task.deferred_peers
+                )
+                continue
+            # Step 4 — fetch the neighbour color.
+            if flags.hdc and self.cache is not None and v_des < v_t:
+                color = self.cache.read(v_des)
+                task.cache_reads += 1
+                task.compute_cycles += cfg.cache_hit_cycles - 1
+            else:
+                color, cycles = self._ldv_read(v_des)
+                task.ldv_reads += 1
+                if cycles <= 1:
+                    task.merged_reads += 1
+                else:
+                    task.dram_cycles += cycles - 1
+            # Step 5 — decompress and OR (one pipelined cycle per neighbour).
+            task.neighbors_processed += 1
+            state |= self.num2bit.decompress(color)
+
+        # Edge block accounting: blocks actually streamed vs saved by the
+        # sorted-edge prune break.
+        blocks_needed = -(-consumed // per_block) if consumed else 0
+        blocks_total = -(-int(neighbors.size) // per_block) if neighbors.size else 0
+        task.edge_blocks_fetched = blocks_needed
+        task.edge_blocks_saved = blocks_total - blocks_needed
+        if blocks_needed:
+            # The ping-pong buffer prefetches edge blocks while the previous
+            # task drains, so edge supply streams at burst rate and only the
+            # per-block burst cost lands on the task.
+            task.dram_cycles += blocks_needed * cfg.dram_stream_cycles
+            self.channel.stats.stream_reads += blocks_needed
+            self.channel.stats.read_cycles += blocks_needed * cfg.dram_stream_cycles
+
+        self._state_bits = state
+        self._current = task
+        return task
+
+    def _ldv_read(self, v_des: int) -> tuple[int, int]:
+        """Color read that misses the HDV cache — through the Color Loader."""
+        return self.loader.load(v_des)
+
+    # ------------------------------------------------------------------
+    # Steps 6–8: conflict fold, color determination, write-back
+    # ------------------------------------------------------------------
+    def finalize(self) -> TaskExecution:
+        """Complete the in-flight task: Steps 6–7 (conflict fold and color
+        determination).  Step 8 (write-back) is the Writer module's job —
+        the accelerator passes the returned task to
+        :class:`~repro.hw.writer.Writer`.  Caller guarantees that every
+        deferred peer has delivered its result (the event loop models the
+        stall); a missing result raises through the DCT."""
+        task = self._current
+        if task is None:
+            raise RuntimeError(f"PE {self.pe_id} has no task to finalize")
+        cfg = self.config
+        state = self._state_bits
+
+        # Step 6 — parallel OR over deferred conflict colors (one cycle).
+        if task.deferred_peers:
+            state |= self.dct.gather_conflict_bits()
+            task.compute_cycles += cfg.conflict_or_cycles
+
+        # Step 7 — color determination.
+        if self.flags.bwc:
+            # One cycle of AND-NOT bit logic, then the 3-cycle compressor.
+            task.compute_cycles += 1
+            bits = first_free_bits(state)
+            color = self.compressor.compress(bits)
+            task.compute_cycles += self.compressor.LATENCY_CYCLES
+        else:
+            # Flag-array traversal: scan from color 1 to the first free
+            # flag, then sweep the in-use extent of the flag array clean
+            # (Algorithm 1's Stage 1 — the paper's cycle example clears
+            # the whole array, one cycle per color in play).
+            color = 1
+            while state & (1 << (color - 1)):
+                color += 1
+            scan_cycles = color
+            clear_cycles = self._max_color_seen
+            task.compute_cycles += scan_cycles + clear_cycles
+            bits = 1 << (color - 1)
+        self._max_color_seen = max(self._max_color_seen, color)
+        if color > cfg.max_colors:
+            raise ValueError(
+                f"vertex {task.v_src} needs color {color} > max {cfg.max_colors}"
+            )
+        task.color = color
+        task.color_bits = bits
+
+        self._state_bits = 0
+        self._current = None
+        return task
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None

@@ -1,0 +1,82 @@
+"""High-degree vertex (HDV) color cache.
+
+After DBG reordering, the HDV cache is a *direct* structure: vertex ``v``
+(with ``v < v_t``) lives at word ``v``.  There are no tags, no evictions
+and no misses — the threshold comparison in the BWPE's Step 4 guarantees
+that only HDVs ever reach the cache.  That is the paper's point: given
+graph coloring's hopeless temporal locality (Fig 3b), a statically-pinned
+hot set beats any conventional cache.
+
+Multi-port behaviour (who may read/write which word concurrently) is the
+job of :mod:`repro.hw.multiport`; this class is the single-copy
+functional store plus hit accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import HWConfig
+
+__all__ = ["CacheStats", "HDVColorCache"]
+
+
+@dataclass
+class CacheStats:
+    reads: int = 0
+    writes: int = 0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(self.reads + other.reads, self.writes + other.writes)
+
+
+class HDVColorCache:
+    """Functional HDV color store with capacity enforcement."""
+
+    def __init__(self, config: HWConfig, v_t: int):
+        if v_t > config.cache_capacity_vertices:
+            raise ValueError(
+                f"v_t {v_t} exceeds cache capacity "
+                f"{config.cache_capacity_vertices} vertices"
+            )
+        self.config = config
+        self.v_t = v_t
+        self.stats = CacheStats()
+        self._colors = np.zeros(v_t, dtype=np.int64)
+
+    def covers(self, vertex: int) -> bool:
+        """True when this vertex's color lives on-chip."""
+        return 0 <= vertex < self.v_t
+
+    def read(self, vertex: int) -> int:
+        """Read a cached color; costs ``cache_hit_cycles`` (caller charges)."""
+        self._check(vertex)
+        self.stats.reads += 1
+        return int(self._colors[vertex])
+
+    def write(self, vertex: int, color: int) -> None:
+        self._check(vertex)
+        if color < 0 or color > self.config.max_colors:
+            raise ValueError(f"color {color} outside [0, {self.config.max_colors}]")
+        self.stats.writes += 1
+        self._colors[vertex] = color
+
+    def read_many(self, vertices: np.ndarray) -> np.ndarray:
+        """Bulk functional read (fast path); counts one read per vertex."""
+        vertices = np.asarray(vertices)
+        if vertices.size and (vertices.min() < 0 or vertices.max() >= self.v_t):
+            raise IndexError("vertex outside HDV range")
+        self.stats.reads += int(vertices.size)
+        return self._colors[vertices]
+
+    def snapshot(self) -> np.ndarray:
+        return self._colors.copy()
+
+    def _check(self, vertex: int) -> None:
+        if not self.covers(vertex):
+            raise IndexError(
+                f"vertex {vertex} outside HDV range [0, {self.v_t}); "
+                "LDV colors live in DRAM"
+            )

@@ -1,0 +1,94 @@
+"""Color Loader — LDV color fetch with DRAM read merging (Section 4.5).
+
+The loader receives destination vertex indices (ascending within a vertex
+after edge sorting), computes the 512-bit block each color lives in, and
+skips the DRAM request entirely when the block equals the last one
+requested — the Merge DRAM Read (MGR) optimization.  The last block and
+its index persist *across* vertices (the paper's Step 7 updates them at
+the end of each response), so a popular low-degree block keeps merging.
+
+Functional data comes from the channel's :class:`~repro.hw.dram.ColorMemory`;
+timing comes from the channel's block-read model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import HWConfig
+from .dram import ColorMemory, DRAMChannel
+
+__all__ = ["LoaderStats", "ColorLoader"]
+
+
+@dataclass
+class LoaderStats:
+    requests: int = 0
+    """LDV color reads presented to the loader."""
+
+    dram_reads: int = 0
+    """Block reads actually issued."""
+
+    merged: int = 0
+    """Reads served from the last requested block (saved DRAM accesses)."""
+
+    def merge(self, other: "LoaderStats") -> "LoaderStats":
+        return LoaderStats(
+            requests=self.requests + other.requests,
+            dram_reads=self.dram_reads + other.dram_reads,
+            merged=self.merged + other.merged,
+        )
+
+
+class ColorLoader:
+    """Per-BWPE LDV color fetch pipeline."""
+
+    def __init__(
+        self,
+        config: HWConfig,
+        channel: DRAMChannel,
+        memory: ColorMemory,
+        *,
+        enable_merge: bool = True,
+    ):
+        self.config = config
+        self.channel = channel
+        self.memory = memory
+        self.enable_merge = enable_merge
+        self.stats = LoaderStats()
+        self._last_block: int | None = None
+
+    def load(self, vertex: int) -> tuple[int, int]:
+        """Fetch one LDV color; returns ``(color, cycles)``.
+
+        Steps 1–6 of Figure 9: decode block/offset, compare with the last
+        request index, issue (or skip) the DRAM read, select the word.
+        """
+        self.stats.requests += 1
+        block = self.memory.block_of(vertex)
+        if self.enable_merge and block == self._last_block:
+            # Step 2/5: index matches the last request — reuse its block.
+            self.stats.merged += 1
+            cycles = 1  # bits-selector only
+        else:
+            cycles = self.channel.read_block(block)
+            self.stats.dram_reads += 1
+            self._last_block = block
+        color = self.memory.read(vertex)
+        return color, cycles
+
+    def invalidate(self, vertex: int) -> None:
+        """Drop the merged block if ``vertex`` was just rewritten.
+
+        The real Writer updates DRAM directly; a stale merged block would
+        return the pre-update color.  The paper avoids the hazard because a
+        just-written vertex is never re-read before its block ages out of
+        the one-entry buffer under ascending dispatch; the model enforces
+        it explicitly so the functional simulator can never go stale.
+        """
+        if self._last_block is not None and self.memory.block_of(vertex) == self._last_block:
+            self._last_block = None
+
+    def reset_stream(self) -> None:
+        """Forget channel burst state (new task); merge buffer persists."""
+        self.channel.end_stream()

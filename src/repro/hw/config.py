@@ -1,0 +1,163 @@
+"""Hardware configuration for the BitColor accelerator model.
+
+All cycle costs and capacities live here, so calibration happens in one
+place.  Defaults correspond to the paper's deployment (Section 5.1.1):
+Alveo U200, 1 MB color cache per instance (512 K vertices of 16-bit
+colors), 1024 colors max, 512-bit DRAM blocks, frequency above 200 MHz.
+
+Cycle-cost calibration notes
+----------------------------
+``dram_latency_cycles`` is the full random-access latency of an off-chip
+DDR4 read as seen by the kernel clock (row activation + controller +
+AXI), a few tens of cycles at 200 MHz.  ``dram_stream_cycles`` is the
+per-block cost of a sequential burst once a stream is open.  These two
+constants (not per-graph tuning) set the compute/memory balance that
+drives Figures 11–13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["HWConfig", "OptimizationFlags", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """The four optimization toggles of the Fig 11 ablation.
+
+    * ``hdc`` — high-degree vertex cache: color reads/writes of vertices
+      below ``v_t`` go to on-chip BRAM instead of DRAM.
+    * ``bwc`` — bit-wise coloring: Stage 1 is one cycle of bit logic
+      (plus the 3-cycle compressor) instead of a flag-array traversal.
+    * ``mgr`` — merge DRAM reads: consecutive LDV color reads that hit
+      the same 512-bit block reuse the last response (needs sorted edges).
+    * ``puv`` — prune uncolored vertices: neighbours with a larger vertex
+      ID than the current vertex are skipped (needs DBG ordering); with
+      sorted edges, the first pruned neighbour prunes the rest.
+    """
+
+    hdc: bool = True
+    bwc: bool = True
+    mgr: bool = True
+    puv: bool = True
+
+    @classmethod
+    def none(cls) -> "OptimizationFlags":
+        """Baseline (BSL): every optimization off."""
+        return cls(hdc=False, bwc=False, mgr=False, puv=False)
+
+    @classmethod
+    def all(cls) -> "OptimizationFlags":
+        return cls()
+
+    def label(self) -> str:
+        parts = [
+            name.upper()
+            for name in ("hdc", "bwc", "mgr", "puv")
+            if getattr(self, name)
+        ]
+        return "+".join(parts) if parts else "BSL"
+
+
+@dataclass(frozen=True)
+class HWConfig:
+    """Static configuration of one BitColor instance."""
+
+    # Parallelism and clocking -----------------------------------------
+    parallelism: int = 16
+    """Number of BWPEs (P).  The paper's BRAM budget caps it at 16."""
+
+    frequency_mhz: float = 212.0
+    """Kernel clock; the paper reports >200 MHz at every parallelism."""
+
+    # Color representation ---------------------------------------------
+    max_colors: int = 1024
+    color_bits: int = 16
+    """Stored width of a compressed color number (10 bits used of 16)."""
+
+    # On-chip memory -----------------------------------------------------
+    cache_bytes: int = 1 << 20
+    """Capacity of the HDV color cache (single-copy data size)."""
+
+    # Off-chip memory ----------------------------------------------------
+    dram_block_bits: int = 512
+    dram_latency_cycles: int = 36
+    """Random-access latency of one 512-bit block read (pipeline fill)."""
+
+    dram_read_occupancy_cycles: int = 10
+    """Effective per-block cost of a random read in steady state: the
+    Color Loader (Figure 9) is a pipeline with multiple outstanding
+    requests, so consecutive misses overlap their latency and each read
+    costs its bandwidth slot plus controller overhead, not the full
+    random-access latency."""
+
+    dram_stream_cycles: int = 4
+    """Per-block cost inside an open sequential burst."""
+
+    dram_write_cycles: int = 2
+    """Posted-write occupancy per LDV color update (no stall)."""
+
+    cache_hit_cycles: int = 1
+
+    dram_physical_channels: int = 4
+    """Physical DDR4 channels on the U200.  Each BWPE gets a *logical*
+    channel, but at P > 4 several logical channels share one physical
+    channel's bandwidth — the main reason Figure 12's scaling is
+    sublinear on memory-bound graphs."""
+
+    dispatch_interval_cycles: int = 3
+    """Minimum cycles between consecutive task dispatches: the Task
+    Dispatch Unit's offset fetch, PST update and parameter transfer are a
+    shared serial pipeline."""
+
+    # Pipeline constants --------------------------------------------------
+    compressor_cycles: int = 3
+    """Latency of the Figure 4 cascaded-mux compressor."""
+
+    conflict_or_cycles: int = 1
+    """Parallel OR over the data-conflict-table color row (Step 6)."""
+
+    task_setup_cycles: int = 4
+    """Dispatcher → BWPE parameter load (v_src, s_e, d_e, DCT config)."""
+
+    edge_buffer_blocks: int = 2
+    """Ping-pong edge buffer depth, in DRAM blocks."""
+
+    edge_index_bits: int = 32
+
+    # Derived quantities --------------------------------------------------
+    @property
+    def colors_per_block(self) -> int:
+        """How many color words one DRAM block holds (paper: 512/16 = 32)."""
+        return self.dram_block_bits // self.color_bits
+
+    @property
+    def edges_per_block(self) -> int:
+        """How many edge indices one DRAM block holds (512/32 = 16)."""
+        return self.dram_block_bits // self.edge_index_bits
+
+    @property
+    def cache_capacity_vertices(self) -> int:
+        """How many vertices' colors fit in the HDV cache (paper: 512 K)."""
+        return self.cache_bytes // (self.color_bits // 8)
+
+    def v_t(self, num_vertices: int) -> int:
+        """HDV threshold for a graph of the given size."""
+        return min(num_vertices, self.cache_capacity_vertices)
+
+    def with_parallelism(self, p: int) -> "HWConfig":
+        if p < 1:
+            raise ValueError("parallelism must be >= 1")
+        return replace(self, parallelism=p)
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.dram_block_bits % self.color_bits:
+            raise ValueError("color width must divide the DRAM block width")
+        if self.max_colors < 1:
+            raise ValueError("max_colors must be positive")
+
+
+DEFAULT_CONFIG = HWConfig()

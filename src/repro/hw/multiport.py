@@ -1,0 +1,219 @@
+"""Multi-port cache construction (Section 4.4).
+
+FPGAs only provide dual-ported BRAMs, but P parallel BWPEs need P read
+ports and P write ports on the HDV color cache.  Two constructions are
+modelled:
+
+* :class:`LVTMultiPortCache` — the classic Live Value Table design
+  (LaForest & Steffan): an ``m × n`` grid of bank replicas plus an LVT
+  that records, per address, which write-port row holds the live value.
+  Costs a full extra table, one cycle of extra read latency, and heavy
+  replication.
+
+* :class:`BitSelectMultiPortCache` — the paper's design.  Because the
+  degree-aware scheduler guarantees BWPE ``i`` only ever colors HDVs with
+  ``v % P == i``, the live bank is a pure function of the address: word
+  ``addr // P`` inside the RM group ``(addr % P) // 2``.  No LVT, no
+  extra latency, and each BM shrinks to ``2D/P`` words, for a total of
+  ``m·n·D/(2P)`` words (``P·D/2`` when ``m = n = P``) — ``2/P`` of the
+  LVT design's footprint by the paper's accounting.
+
+Both classes are functional models (they really store and return colors,
+and they *enforce* the write-residue discipline) with exact BRAM-word
+accounting used by the resource model and the multiport ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "PortViolation",
+    "MultiPortCacheModel",
+    "BitSelectMultiPortCache",
+    "LVTMultiPortCache",
+    "bram_blocks_needed",
+]
+
+BRAM_BLOCK_BITS = 36 * 1024
+"""Capacity of one U200 BRAM block (36 Kb)."""
+
+
+class PortViolation(RuntimeError):
+    """A port was used outside its allowed address class."""
+
+
+def bram_blocks_needed(words: int, word_bits: int) -> int:
+    """How many 36 Kb BRAM blocks hold ``words`` words of ``word_bits`` bits."""
+    total_bits = words * word_bits
+    return -(-total_bits // BRAM_BLOCK_BITS)  # ceil division
+
+
+@dataclass
+class _PortStats:
+    reads: int = 0
+    writes: int = 0
+
+
+class MultiPortCacheModel:
+    """Shared functional behaviour: D words, P read ports, P write ports."""
+
+    def __init__(self, depth: int, num_ports: int, word_bits: int = 16):
+        if num_ports < 1:
+            raise ValueError("need at least one port")
+        if num_ports > 1 and num_ports % 2:
+            raise ValueError("port count must be even (BRAMs are dual-ported)")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        self.depth = depth
+        self.num_ports = num_ports
+        self.word_bits = word_bits
+        self.port_stats = [_PortStats() for _ in range(num_ports)]
+
+    # Subclasses implement the real storage topology.
+    def read(self, port: int, addr: int) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def write(self, port: int, addr: int, value: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.num_ports:
+            raise PortViolation(f"port {port} outside [0, {self.num_ports})")
+
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.depth:
+            raise IndexError(f"address {addr} outside [0, {self.depth})")
+
+    @property
+    def read_latency_cycles(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def bram_words(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def bram_blocks(self) -> int:
+        return bram_blocks_needed(self.bram_words(), self.word_bits)
+
+
+class BitSelectMultiPortCache(MultiPortCacheModel):
+    """The paper's address bit-selection multi-port cache (Figure 8(b)).
+
+    Topology for ``P`` ports over ``D`` words:
+
+    * ``P/2`` RM groups; group ``j`` owns addresses with
+      ``addr % P ∈ {2j, 2j+1}``;
+    * each group is one logical ``2D/P``-word store, physically replicated
+      ``P/2``× for read ports (replicas hold identical data, so the model
+      stores one copy and counts the replicas in the BRAM cost);
+    * write port ``i`` may only write addresses with ``addr % P == i`` —
+      exactly the scheduler's guarantee; violations raise
+      :class:`PortViolation` because they would silently read stale data
+      in real hardware.
+    """
+
+    def __init__(self, depth: int, num_ports: int, word_bits: int = 16):
+        super().__init__(depth, num_ports, word_bits)
+        p = max(num_ports, 1)
+        group_words = 2 * ((depth + p - 1) // p) if num_ports > 1 else depth
+        self._group_words = group_words
+        num_groups = max(num_ports // 2, 1)
+        self._groups: List[np.ndarray] = [
+            np.zeros(group_words, dtype=np.int64) for _ in range(num_groups)
+        ]
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        """(RM group, word index) for an address — the bit-selection step."""
+        if self.num_ports == 1:
+            return 0, addr
+        p = self.num_ports
+        residue = addr % p
+        return residue // 2, (addr // p) * 2 + (residue & 1)
+
+    def write(self, port: int, addr: int, value: int) -> None:
+        self._check_port(port)
+        self._check_addr(addr)
+        if self.num_ports > 1 and addr % self.num_ports != port:
+            raise PortViolation(
+                f"write port {port} may not write address {addr} "
+                f"(addr % P = {addr % self.num_ports})"
+            )
+        group, word = self._locate(addr)
+        self._groups[group][word] = value
+        self.port_stats[port].writes += 1
+
+    def read(self, port: int, addr: int) -> int:
+        self._check_port(port)
+        self._check_addr(addr)
+        group, word = self._locate(addr)
+        self.port_stats[port].reads += 1
+        return int(self._groups[group][word])
+
+    @property
+    def read_latency_cycles(self) -> int:
+        """BRAM read + output mux — one cycle, no LVT indirection."""
+        return 1
+
+    def bram_words(self) -> int:
+        """``m·n·D/(2P)`` physical words (``P·D/2`` for ``m = n = P``)."""
+        if self.num_ports == 1:
+            return self.depth
+        p = self.num_ports
+        # P/2 groups × P/2 read replicas × 2D/P words per BM.
+        return (p // 2) * (p // 2) * self._group_words
+
+
+class LVTMultiPortCache(MultiPortCacheModel):
+    """Live-Value-Table multi-port cache (Figure 8(a)) — comparison model.
+
+    ``m`` write rows × ``n`` read columns of bank replicas plus an
+    ``D``-entry LVT.  A write on port ``w`` updates every bank in row
+    ``w`` and records ``LVT[addr] = w``; a read first consults the LVT to
+    steer the bank mux, adding a cycle of latency.
+
+    BRAM accounting follows the paper's own comparison (Section 4.4):
+    bank storage ``m·n·D/4`` words plus the LVT, giving the quoted
+    bit-selection advantage of ``2/P``.
+    """
+
+    def __init__(self, depth: int, num_ports: int, word_bits: int = 16):
+        super().__init__(depth, num_ports, word_bits)
+        rows = max(num_ports, 1)
+        self._banks = np.zeros((rows, depth), dtype=np.int64) if depth else np.zeros(
+            (rows, 0), dtype=np.int64
+        )
+        self._lvt = np.zeros(depth, dtype=np.int64)
+
+    def write(self, port: int, addr: int, value: int) -> None:
+        self._check_port(port)
+        self._check_addr(addr)
+        # All n read replicas of row `port` get the value; the model keeps
+        # one row per write port since replicas are identical.
+        self._banks[port, addr] = value
+        self._lvt[addr] = port
+        self.port_stats[port].writes += 1
+
+    def read(self, port: int, addr: int) -> int:
+        self._check_port(port)
+        self._check_addr(addr)
+        self.port_stats[port].reads += 1
+        live_row = int(self._lvt[addr])
+        return int(self._banks[live_row, addr])
+
+    @property
+    def read_latency_cycles(self) -> int:
+        """LVT lookup + bank read — two cycles."""
+        return 2
+
+    def bram_words(self) -> int:
+        if self.num_ports == 1:
+            return self.depth
+        p = self.num_ports
+        bank_words = p * p * self.depth // 4
+        # LVT: D entries of log2(m) bits, expressed in word-equivalents.
+        lvt_bits = self.depth * max((p - 1).bit_length(), 1)
+        lvt_words = -(-lvt_bits // self.word_bits)
+        return bank_words + lvt_words

@@ -1,0 +1,29 @@
+"""Calibrated CPU/GPU performance models and cross-platform metrics."""
+
+from .cpu import CPUCostParams, CPUModel, CPURunResult
+from .gpu import GPUCostParams, GPUModel, GPURunResult
+from .metrics import (
+    ComparisonRow,
+    PlatformMeasurement,
+    arith_mean,
+    geomean,
+    kcvj,
+    mcvs,
+    speedup,
+)
+
+__all__ = [
+    "CPUCostParams",
+    "CPUModel",
+    "CPURunResult",
+    "GPUCostParams",
+    "GPUModel",
+    "GPURunResult",
+    "ComparisonRow",
+    "PlatformMeasurement",
+    "arith_mean",
+    "geomean",
+    "kcvj",
+    "mcvs",
+    "speedup",
+]

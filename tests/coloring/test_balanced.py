@@ -1,0 +1,92 @@
+"""Tests for balanced coloring."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper_coloring,
+    balance_coloring,
+    balance_ratio,
+    balanced_greedy_coloring,
+    greedy_coloring_fast,
+    num_colors,
+)
+from repro.graph import erdos_renyi, rmat, star_graph
+
+
+class TestBalanceRatio:
+    def test_perfect(self):
+        assert balance_ratio(np.array([1, 2, 1, 2])) == 1.0
+
+    def test_skewed(self):
+        # classes: {1: 3, 2: 1} -> ideal 2, ratio 1.5
+        assert balance_ratio(np.array([1, 1, 1, 2])) == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert balance_ratio(np.array([0, 0])) == 1.0
+
+
+class TestRebalancePass:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_properness_preserved(self, seed):
+        g = erdos_renyi(80, 0.08, seed=seed)
+        colors = greedy_coloring_fast(g)
+        rebalanced = balance_coloring(g, colors)
+        assert_proper_coloring(g, rebalanced)
+
+    def test_never_more_colors(self, medium_powerlaw):
+        colors = greedy_coloring_fast(medium_powerlaw)
+        rebalanced = balance_coloring(medium_powerlaw, colors)
+        assert num_colors(rebalanced) <= num_colors(colors)
+
+    def test_improves_star(self):
+        """Greedy on a star gives classes {hub}, {all leaves} — massively
+        unbalanced; rebalancing can't help (only 2 feasible classes) but
+        must not break anything."""
+        g = star_graph(30)
+        colors = greedy_coloring_fast(g)
+        out = balance_coloring(g, colors)
+        assert_proper_coloring(g, out)
+
+    def test_improves_skew(self, medium_powerlaw):
+        colors = greedy_coloring_fast(medium_powerlaw)
+        before = balance_ratio(colors)
+        after = balance_ratio(balance_coloring(medium_powerlaw, colors))
+        assert after <= before
+
+    def test_input_not_mutated(self, small_random):
+        colors = greedy_coloring_fast(small_random)
+        snapshot = colors.copy()
+        balance_coloring(small_random, colors)
+        assert np.array_equal(colors, snapshot)
+
+    def test_trivial_single_color(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.empty(5)
+        colors = np.ones(5, dtype=np.int64)
+        assert np.array_equal(balance_coloring(g, colors), colors)
+
+
+class TestBalancedGreedy:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proper(self, seed):
+        g = erdos_renyi(70, 0.1, seed=seed)
+        colors = balanced_greedy_coloring(g)
+        assert_proper_coloring(g, colors)
+
+    def test_better_balance_than_first_fit(self):
+        g = rmat(9, 6, seed=12)
+        ff = balance_ratio(greedy_coloring_fast(g))
+        bal = balance_ratio(balanced_greedy_coloring(g))
+        assert bal < ff
+
+    def test_color_count_close_to_first_fit(self, medium_powerlaw):
+        ff = num_colors(greedy_coloring_fast(medium_powerlaw))
+        bal = num_colors(balanced_greedy_coloring(medium_powerlaw))
+        assert bal <= ff + 3
+
+    def test_custom_order(self, small_random):
+        order = np.arange(small_random.num_vertices)[::-1]
+        colors = balanced_greedy_coloring(small_random, order=order)
+        assert_proper_coloring(small_random, colors)

@@ -1,0 +1,216 @@
+"""Tests for the non-greedy baselines: DSATUR, Jones–Plassmann, Gunrock,
+Luby MIS, and exact backtracking."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper_coloring,
+    chromatic_number,
+    dsatur_coloring,
+    exact_coloring,
+    greedy_clique_lower_bound,
+    greedy_coloring_fast,
+    gunrock_coloring,
+    jones_plassmann_coloring,
+    luby_mis,
+    mis_coloring,
+    num_colors,
+)
+from repro.coloring.gunrock import default_round_cap
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    random_bipartite,
+    rmat,
+    star_graph,
+)
+
+
+class TestDSATUR:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proper(self, seed):
+        g = erdos_renyi(60, 0.15, seed=seed)
+        assert_proper_coloring(g, dsatur_coloring(g))
+
+    def test_bipartite_optimal(self):
+        """DSATUR is exact on bipartite graphs."""
+        g = random_bipartite(15, 15, 0.3, seed=2)
+        if g.num_edges:
+            assert num_colors(dsatur_coloring(g)) == 2
+
+    def test_complete(self):
+        assert num_colors(dsatur_coloring(complete_graph(6))) == 6
+
+    def test_odd_cycle(self, cycle5):
+        assert num_colors(dsatur_coloring(cycle5)) == 3
+
+    def test_empty(self):
+        assert dsatur_coloring(CSRGraph.empty(0)).size == 0
+        assert (dsatur_coloring(CSRGraph.empty(3)) == 1).all()
+
+    def test_not_worse_than_greedy_on_average(self):
+        wins = ties = losses = 0
+        for seed in range(8):
+            g = erdos_renyi(60, 0.2, seed=seed)
+            d = num_colors(dsatur_coloring(g))
+            gr = num_colors(greedy_coloring_fast(g))
+            if d < gr:
+                wins += 1
+            elif d == gr:
+                ties += 1
+            else:
+                losses += 1
+        assert wins + ties >= losses
+
+
+class TestJonesPlassmann:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proper(self, seed):
+        g = erdos_renyi(50, 0.15, seed=seed)
+        r = jones_plassmann_coloring(g, seed=seed)
+        assert_proper_coloring(g, r.colors)
+
+    def test_rounds_recorded(self, small_random):
+        r = jones_plassmann_coloring(small_random, seed=1)
+        assert r.num_rounds == len(r.rounds)
+        assert sum(rd.colored_vertices for rd in r.rounds) == small_random.num_vertices
+
+    def test_single_round_on_empty_graph(self):
+        g = CSRGraph.empty(10)
+        r = jones_plassmann_coloring(g)
+        assert r.num_rounds == 1
+        assert r.num_colors == 1
+
+    def test_custom_priorities(self, small_random):
+        degs = small_random.degrees()
+        r = jones_plassmann_coloring(small_random, priorities=degs)
+        assert_proper_coloring(small_random, r.colors)
+
+    def test_priority_length_check(self, triangle):
+        with pytest.raises(ValueError):
+            jones_plassmann_coloring(triangle, priorities=np.array([1, 2]))
+
+    def test_max_rounds_guard(self, small_random):
+        with pytest.raises(RuntimeError):
+            jones_plassmann_coloring(small_random, max_rounds=0)
+
+
+class TestGunrock:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proper(self, seed):
+        g = erdos_renyi(60, 0.15, seed=seed)
+        r = gunrock_coloring(g, seed=seed)
+        assert_proper_coloring(g, r.colors)
+
+    def test_round_cap_respected(self, medium_powerlaw):
+        r = gunrock_coloring(medium_powerlaw, max_rounds=3)
+        assert r.rounds <= 3
+        assert_proper_coloring(medium_powerlaw, r.colors)
+
+    def test_tail_counted(self, medium_powerlaw):
+        r = gunrock_coloring(medium_powerlaw, max_rounds=2)
+        assert r.tail_vertices > 0
+        assert r.tail_edges >= r.tail_vertices  # power-law tail is hub-heavy
+
+    def test_default_cap(self):
+        assert default_round_cap(2) == 4
+        assert default_round_cap(10**6) == 8
+
+    def test_uses_more_colors_than_greedy(self):
+        """Gunrock's quality deficit — the paper's Section 5.3 remark."""
+        worse = 0
+        for seed in range(5):
+            g = rmat(8, 6, seed=seed)
+            gk = gunrock_coloring(g, seed=seed).num_colors
+            gr = num_colors(greedy_coloring_fast(g))
+            worse += gk >= gr
+        assert worse >= 4
+
+    def test_per_round_accounting(self, small_random):
+        r = gunrock_coloring(small_random)
+        assert sum(r.per_round_colored) + r.tail_vertices == small_random.num_vertices
+
+
+class TestLubyMIS:
+    def test_mis_is_independent(self, small_random):
+        mis = luby_mis(small_random, seed=1)
+        for u, v in small_random.iter_edges():
+            assert not (mis[u] and mis[v])
+
+    def test_mis_is_maximal(self, small_random):
+        mis = luby_mis(small_random, seed=1)
+        for v in range(small_random.num_vertices):
+            if not mis[v]:
+                nbrs = small_random.neighbors(v)
+                assert mis[nbrs].any(), f"vertex {v} could join the MIS"
+
+    def test_candidates_respected(self, small_random):
+        cand = np.zeros(small_random.num_vertices, dtype=bool)
+        cand[:10] = True
+        mis = luby_mis(small_random, candidates=cand, seed=2)
+        assert not mis[10:].any()
+
+    def test_candidates_length_check(self, triangle):
+        with pytest.raises(ValueError):
+            luby_mis(triangle, candidates=np.array([True]))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mis_coloring_proper(self, seed):
+        g = erdos_renyi(50, 0.12, seed=seed)
+        r = mis_coloring(g, seed=seed)
+        assert_proper_coloring(g, r.colors)
+        assert r.num_colors == num_colors(r.colors)
+
+    def test_peak_state_tracked(self, small_random):
+        r = mis_coloring(small_random, seed=3)
+        assert r.peak_live_state > 0
+
+
+class TestBacktracking:
+    def test_known_chromatic_numbers(self):
+        assert chromatic_number(complete_graph(5)) == 5
+        assert chromatic_number(cycle_graph(6)) == 2
+        assert chromatic_number(cycle_graph(7)) == 3
+        assert chromatic_number(path_graph(5)) == 2
+        assert chromatic_number(star_graph(8)) == 2
+
+    def test_petersen_graph(self):
+        """The Petersen graph is famously 3-chromatic."""
+        import networkx as nx
+
+        g = CSRGraph.from_networkx(nx.petersen_graph())
+        assert chromatic_number(g) == 3
+
+    def test_bipartite_two(self):
+        g = random_bipartite(8, 8, 0.4, seed=1)
+        if g.num_edges:
+            assert chromatic_number(g) == 2
+
+    def test_exact_coloring_is_proper(self):
+        g = erdos_renyi(18, 0.3, seed=4)
+        assert_proper_coloring(g, exact_coloring(g))
+
+    def test_exact_lower_bounds_heuristics(self):
+        for seed in range(4):
+            g = erdos_renyi(16, 0.35, seed=seed)
+            chi = chromatic_number(g)
+            assert chi <= num_colors(greedy_coloring_fast(g))
+            assert chi <= num_colors(dsatur_coloring(g))
+
+    def test_clique_lower_bound(self):
+        assert greedy_clique_lower_bound(complete_graph(6)) == 6
+        assert greedy_clique_lower_bound(path_graph(5)) == 2
+        assert greedy_clique_lower_bound(CSRGraph.empty(0)) == 0
+
+    def test_node_limit(self):
+        g = erdos_renyi(30, 0.5, seed=5)
+        with pytest.raises(RuntimeError, match="node"):
+            exact_coloring(g, node_limit=3)
+
+    def test_edge_cases(self):
+        assert chromatic_number(CSRGraph.empty(0)) == 0
+        assert chromatic_number(CSRGraph.empty(5)) == 1

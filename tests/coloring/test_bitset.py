@@ -1,0 +1,165 @@
+"""Tests for the bit-wise color-state primitives."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    CascadedMuxCompressor,
+    Num2BitTable,
+    bits_or,
+    bits_to_num,
+    first_free_bits,
+    first_free_color,
+    num_to_bits,
+    popcount,
+)
+from repro.coloring.bitset import first_free_colors_u64
+
+
+class TestFirstFree:
+    def test_empty_state(self):
+        assert first_free_bits(0) == 1
+        assert first_free_color(0) == 1
+
+    def test_paper_example(self):
+        """Figure 1: state 0b0011 -> first free color is bit 2 (red)."""
+        assert first_free_bits(0b0011) == 0b0100
+        assert first_free_color(0b0011) == 3
+
+    def test_gap_in_middle(self):
+        assert first_free_color(0b1011) == 3
+        assert first_free_color(0b0101) == 2
+
+    def test_dense_prefix(self):
+        state = (1 << 100) - 1  # colors 1..100 all taken
+        assert first_free_color(state) == 101
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            first_free_bits(-1)
+
+    def test_exhaustive_small(self):
+        """Cross-check the bit trick against the naive scan for all states
+        up to 2^12."""
+        for state in range(1 << 12):
+            c = 1
+            while state & (1 << (c - 1)):
+                c += 1
+            assert first_free_color(state) == c
+
+
+class TestConversions:
+    def test_num_to_bits(self):
+        assert num_to_bits(0) == 0
+        assert num_to_bits(1) == 0b1
+        assert num_to_bits(4) == 0b1000
+
+    def test_bits_to_num(self):
+        assert bits_to_num(0) == 0
+        assert bits_to_num(0b1) == 1
+        assert bits_to_num(1 << 511) == 512
+
+    def test_roundtrip(self):
+        for c in [0, 1, 2, 17, 64, 100, 1024]:
+            assert bits_to_num(num_to_bits(c)) == c
+
+    def test_non_one_hot_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_num(0b11)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            num_to_bits(-2)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_bits_or(self):
+        assert bits_or([]) == 0
+        assert bits_or([0b01, 0b10, 0b01]) == 0b11
+
+
+class TestNum2BitTable:
+    def test_lookup(self):
+        t = Num2BitTable(16)
+        assert t.decompress(0) == 0
+        assert t.decompress(1) == 1
+        assert t.decompress(16) == 1 << 15
+
+    def test_counts_lookups(self):
+        t = Num2BitTable(8)
+        t.decompress(3)
+        t.decompress(4)
+        assert t.lookups == 2
+        t.reset_counters()
+        assert t.lookups == 0
+
+    def test_out_of_range(self):
+        t = Num2BitTable(8)
+        with pytest.raises(ValueError):
+            t.decompress(9)
+        with pytest.raises(ValueError):
+            t.decompress(-1)
+
+    def test_bram_bits(self):
+        t = Num2BitTable(1024)
+        assert t.bram_bits == 1025 * 1024
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Num2BitTable(0)
+
+
+class TestCascadedMuxCompressor:
+    def test_all_one_hots_1024(self):
+        """Every one-hot word up to 1024 colors compresses correctly."""
+        c = CascadedMuxCompressor(1024)
+        for k in range(1, 1025):
+            assert c.compress(1 << (k - 1)) == k
+
+    def test_zero(self):
+        assert CascadedMuxCompressor().compress(0) == 0
+
+    def test_non_one_hot(self):
+        with pytest.raises(ValueError):
+            CascadedMuxCompressor().compress(0b101)
+
+    def test_overflow(self):
+        c = CascadedMuxCompressor(16)
+        with pytest.raises(ValueError):
+            c.compress(1 << 16)
+
+    def test_latency_constant(self):
+        assert CascadedMuxCompressor.LATENCY_CYCLES == 3
+
+    def test_counts(self):
+        c = CascadedMuxCompressor()
+        c.compress(1)
+        c.compress(2)
+        assert c.compressions == 2
+        c.reset_counters()
+        assert c.compressions == 0
+
+    def test_matches_table_inverse(self):
+        t = Num2BitTable(256)
+        c = CascadedMuxCompressor(256)
+        for k in range(257):
+            assert c.compress(t.decompress(k)) == k
+
+
+class TestVectorised:
+    def test_matches_scalar(self):
+        gen = np.random.default_rng(5)
+        states = gen.integers(0, 1 << 40, size=200, dtype=np.uint64)
+        out = first_free_colors_u64(states)
+        for s, c in zip(states, out):
+            assert first_free_color(int(s)) == int(c)
+
+    def test_saturated_rejected(self):
+        with pytest.raises(OverflowError):
+            first_free_colors_u64(np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64))
+
+    def test_high_bits(self):
+        states = np.array([(1 << 62) - 1], dtype=np.uint64)
+        assert first_free_colors_u64(states)[0] == 63

@@ -1,0 +1,112 @@
+"""Tests for Algorithm 2 (bit-wise greedy coloring).
+
+The central property: the bit-wise algorithm makes *identical* coloring
+decisions to Algorithm 1 — only the work accounting differs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper_coloring,
+    bitwise_greedy_coloring,
+    greedy_coloring,
+)
+from repro.graph import (
+    complete_graph,
+    degree_based_grouping,
+    erdos_renyi,
+    rmat,
+    road_grid,
+    sort_edges,
+)
+
+
+class TestEquivalenceWithGreedy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(70, 0.12, seed=seed)
+        a = greedy_coloring(g).colors
+        b = bitwise_greedy_coloring(g).colors
+        assert np.array_equal(a, b)
+
+    def test_power_law(self, preprocessed_powerlaw):
+        a = greedy_coloring(preprocessed_powerlaw).colors
+        b = bitwise_greedy_coloring(preprocessed_powerlaw).colors
+        assert np.array_equal(a, b)
+
+    def test_road(self, small_grid):
+        a = greedy_coloring(small_grid).colors
+        b = bitwise_greedy_coloring(small_grid).colors
+        assert np.array_equal(a, b)
+
+    def test_custom_order(self, small_random):
+        gen = np.random.default_rng(2)
+        order = gen.permutation(small_random.num_vertices)
+        a = greedy_coloring(small_random, order=order).colors
+        b = bitwise_greedy_coloring(small_random, order=order).colors
+        assert np.array_equal(a, b)
+
+
+class TestPruning:
+    def test_pruning_preserves_result(self, preprocessed_powerlaw):
+        plain = bitwise_greedy_coloring(preprocessed_powerlaw)
+        pruned = bitwise_greedy_coloring(preprocessed_powerlaw, prune_uncolored=True)
+        assert np.array_equal(plain.colors, pruned.colors)
+
+    def test_pruned_edge_count_is_half(self, small_random):
+        """In ascending order, exactly one endpoint of every undirected
+        edge sees the other as 'not yet colored'."""
+        r = bitwise_greedy_coloring(small_random, prune_uncolored=True)
+        assert r.pruned_edges == small_random.num_undirected_edges
+
+    def test_prune_reduces_stage0_work(self, small_random):
+        plain = bitwise_greedy_coloring(small_random)
+        pruned = bitwise_greedy_coloring(small_random, prune_uncolored=True)
+        assert (
+            pruned.counters.stage0_ops
+            == plain.counters.stage0_ops - pruned.pruned_edges
+        )
+
+    def test_prune_requires_ascending_order(self, small_random):
+        order = np.arange(small_random.num_vertices)[::-1]
+        with pytest.raises(ValueError, match="ascending"):
+            bitwise_greedy_coloring(small_random, order=order, prune_uncolored=True)
+
+
+class TestCounters:
+    def test_stage1_one_op_per_vertex(self, small_random):
+        """The whole point: Stage 1 is O(1) per vertex."""
+        r = bitwise_greedy_coloring(small_random)
+        assert r.counters.stage1_scan_ops == small_random.num_vertices
+        assert r.counters.stage1_clear_ops == 0
+
+    def test_stage1_far_below_greedy(self, medium_powerlaw):
+        g = sort_edges(degree_based_grouping(medium_powerlaw).graph)
+        greedy = greedy_coloring(g)
+        bitwise = bitwise_greedy_coloring(g)
+        assert bitwise.counters.stage1_ops < greedy.counters.stage1_ops / 3
+
+
+class TestMaxColors:
+    def test_cap_exceeded(self):
+        g = complete_graph(6)
+        with pytest.raises(ValueError, match="max_colors"):
+            bitwise_greedy_coloring(g, max_colors=5)
+
+    def test_cap_ok(self):
+        g = complete_graph(6)
+        r = bitwise_greedy_coloring(g, max_colors=6)
+        assert r.num_colors == 6
+
+
+class TestFullPipeline:
+    def test_preprocessed_equivalence_with_pruning(self):
+        """The paper's full pipeline: DBG + edge sort + PUV gives the exact
+        greedy coloring with roughly half the Stage-0 work."""
+        g = sort_edges(degree_based_grouping(rmat(9, 5, seed=33)).graph)
+        greedy = greedy_coloring(g)
+        bw = bitwise_greedy_coloring(g, prune_uncolored=True)
+        assert np.array_equal(greedy.colors, bw.colors)
+        assert_proper_coloring(g, bw.colors)
+        assert bw.counters.stage0_ops * 2 == greedy.counters.stage0_ops

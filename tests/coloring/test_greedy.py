@@ -1,0 +1,162 @@
+"""Tests for Algorithm 1 (basic greedy coloring)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    assert_proper_coloring,
+    greedy_coloring,
+    greedy_coloring_fast,
+    num_colors,
+)
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    random_bipartite,
+    star_graph,
+)
+
+
+class TestKnownGraphs:
+    def test_path_two_colors(self, path10):
+        r = greedy_coloring(path10)
+        assert r.num_colors == 2
+        assert_proper_coloring(path10, r.colors)
+
+    def test_even_cycle_two_colors(self):
+        g = cycle_graph(8)
+        r = greedy_coloring(g)
+        assert r.num_colors == 2
+
+    def test_odd_cycle_three_colors(self, cycle5):
+        r = greedy_coloring(cycle5)
+        assert r.num_colors == 3
+
+    def test_complete_graph(self):
+        g = complete_graph(7)
+        r = greedy_coloring(g)
+        assert r.num_colors == 7
+        assert sorted(r.colors.tolist()) == list(range(1, 8))
+
+    def test_star_two_colors(self, star10):
+        r = greedy_coloring(star10)
+        assert r.num_colors == 2
+        assert r.colors[0] == 1
+
+    def test_empty_graph(self):
+        from repro.graph import CSRGraph
+
+        r = greedy_coloring(CSRGraph.empty(4))
+        assert (r.colors == 1).all()
+
+    def test_paper_figure1(self, paper_example):
+        """Vertex 4 (neighbours 0, 2, 3, 5) sees two distinct colors among
+        its colored neighbours and must take the third — the paper's
+        worked example."""
+        r = greedy_coloring(paper_example)
+        assert_proper_coloring(paper_example, r.colors)
+        nbr_colors = {int(r.colors[v]) for v in (0, 2, 3)}
+        assert nbr_colors == {1, 2}
+        assert r.colors[4] == 3
+
+
+class TestCounters:
+    def test_stage0_counts_every_edge_slot(self, small_random):
+        r = greedy_coloring(small_random)
+        assert r.counters.stage0_ops == small_random.num_edges
+
+    def test_stage2_counts_every_vertex(self, small_random):
+        r = greedy_coloring(small_random)
+        assert r.counters.stage2_ops == small_random.num_vertices
+
+    def test_stage1_scan_at_least_one_per_vertex(self, small_random):
+        r = greedy_coloring(small_random)
+        assert r.counters.stage1_scan_ops >= small_random.num_vertices
+
+    def test_breakdown_sums_to_one(self, small_random):
+        b = greedy_coloring(small_random).counters.breakdown()
+        assert sum(b.values()) == pytest.approx(1.0)
+
+    def test_paper_clear_mode(self, small_random):
+        touched = greedy_coloring(small_random, clear_mode="touched")
+        paper = greedy_coloring(small_random, clear_mode="paper", color_number=1024)
+        # Same coloring, different accounting.
+        assert np.array_equal(touched.colors, paper.colors)
+        assert paper.counters.stage1_clear_ops == 1024 * small_random.num_vertices
+        assert touched.counters.stage1_clear_ops < paper.counters.stage1_clear_ops
+
+    def test_invalid_clear_mode(self, triangle):
+        with pytest.raises(ValueError):
+            greedy_coloring(triangle, clear_mode="bogus")
+
+    def test_path_counter_example(self):
+        """Hand-checked counters on a 3-vertex path 0-1-2."""
+        g = path_graph(3)
+        r = greedy_coloring(g)
+        # Stage0: deg(0)+deg(1)+deg(2) = 1+2+1 = 4.
+        assert r.counters.stage0_ops == 4
+        # Vertex 0: no flags set beyond slot 0... scan color1 free -> 1 op.
+        # Vertex 1: neighbour 0 has color1 -> scan colors 1,2 -> 2 ops.
+        # Vertex 2: neighbour 1 has color2 -> scan color 1 free -> 1 op.
+        assert r.counters.stage1_scan_ops == 4
+
+
+class TestOrdering:
+    def test_custom_order_changes_colors(self):
+        # The "crown" construction where a bad order forces many colors.
+        g = random_bipartite(6, 6, 1.0, seed=1)
+        natural = greedy_coloring(g)
+        assert natural.num_colors == 2
+        # Interleave sides: 0, 6, 1, 7, ... is still fine for complete
+        # bipartite (any neighbour set is the whole other side).
+        order = [v for pair in zip(range(6), range(6, 12)) for v in pair]
+        inter = greedy_coloring(g, order=order)
+        assert_proper_coloring(g, inter.colors)
+
+    def test_order_must_be_permutation(self, triangle):
+        with pytest.raises(ValueError):
+            greedy_coloring(triangle, order=[0, 0, 1])
+        with pytest.raises(ValueError):
+            greedy_coloring(triangle, order=[0, 1])
+
+    def test_order_recorded(self, triangle):
+        r = greedy_coloring(triangle, order=[2, 1, 0])
+        assert r.order.tolist() == [2, 1, 0]
+
+
+class TestMaxColors:
+    def test_cap_ok(self, cycle5):
+        greedy_coloring(cycle5, max_colors=3)
+
+    def test_cap_exceeded(self):
+        g = complete_graph(5)
+        with pytest.raises(ValueError, match="max_colors"):
+            greedy_coloring(g, max_colors=4)
+
+
+class TestFastPath:
+    def test_matches_counted_version(self):
+        for seed in range(5):
+            g = erdos_renyi(80, 0.1, seed=seed)
+            a = greedy_coloring(g).colors
+            b = greedy_coloring_fast(g)
+            assert np.array_equal(a, b)
+
+    def test_respects_order(self, small_random):
+        gen = np.random.default_rng(3)
+        order = gen.permutation(small_random.num_vertices)
+        a = greedy_coloring(small_random, order=order).colors
+        b = greedy_coloring_fast(small_random, order=order)
+        assert np.array_equal(a, b)
+
+    def test_greedy_is_first_fit(self, small_random):
+        """Every vertex holds the smallest color its neighbours allow."""
+        colors = greedy_coloring_fast(small_random)
+        for v in range(small_random.num_vertices):
+            nbrs = set(colors[small_random.neighbors(v)].tolist())
+            c = int(colors[v])
+            assert all(k in nbrs for k in range(1, c)), (
+                f"vertex {v} skipped a free color below {c}"
+            )

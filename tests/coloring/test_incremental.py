@@ -1,0 +1,111 @@
+"""Tests for incremental (streaming) coloring."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import IncrementalColoring, assert_proper_coloring
+from repro.graph import erdos_renyi, rmat
+
+
+class TestBasicOperations:
+    def test_initial_state(self):
+        inc = IncrementalColoring(3)
+        assert inc.num_vertices == 3
+        assert inc.num_colors() == 1  # everyone color 1, no edges
+        inc.validate()
+
+    def test_add_edge_no_conflict(self):
+        inc = IncrementalColoring(2)
+        repaired = inc.add_edge(0, 1)
+        assert repaired  # both started color 1
+        inc.validate()
+        assert inc.color_of(0) != inc.color_of(1)
+
+    def test_duplicate_edge_noop(self):
+        inc = IncrementalColoring(2)
+        inc.add_edge(0, 1)
+        before = inc.stats.edges_added
+        assert inc.add_edge(1, 0) is False
+        assert inc.stats.edges_added == before
+
+    def test_self_loop_rejected(self):
+        inc = IncrementalColoring(2)
+        with pytest.raises(ValueError):
+            inc.add_edge(1, 1)
+
+    def test_vertex_out_of_range(self):
+        inc = IncrementalColoring(2)
+        with pytest.raises(IndexError):
+            inc.add_edge(0, 5)
+
+    def test_add_vertex(self):
+        inc = IncrementalColoring(1)
+        v = inc.add_vertex()
+        assert v == 1
+        inc.add_edge(0, 1)
+        inc.validate()
+
+    def test_remove_edge(self):
+        inc = IncrementalColoring(3)
+        inc.add_edge(0, 1)
+        inc.remove_edge(0, 1)
+        assert inc.stats.edges_removed == 1
+        inc.validate()
+        # Removing a non-edge is a no-op.
+        inc.remove_edge(0, 2)
+        assert inc.stats.edges_removed == 1
+
+
+class TestStreaming:
+    def test_stream_stays_proper(self):
+        g = erdos_renyi(80, 0.08, seed=4)
+        inc = IncrementalColoring(g.num_vertices)
+        for u, v in g.iter_edges():
+            if u < v:
+                inc.add_edge(u, v)
+        inc.validate()
+        snapshot = inc.to_graph()
+        assert_proper_coloring(snapshot, inc.colors())
+        assert snapshot.num_undirected_edges == g.num_undirected_edges
+
+    def test_from_graph(self, medium_powerlaw):
+        inc = IncrementalColoring.from_graph(medium_powerlaw)
+        inc.validate()
+        assert_proper_coloring(medium_powerlaw, inc.colors())
+
+    def test_repair_work_far_below_rebuild(self):
+        """The streaming claim: per-edge repair cost ≪ recoloring all
+        vertices per edge."""
+        g = rmat(8, 5, seed=6)
+        inc = IncrementalColoring.from_graph(g)
+        # Rebuild cost per edge would be ~|E| neighbour scans each time.
+        total_edges = g.num_undirected_edges
+        assert inc.stats.recolor_work < 3 * total_edges
+
+    def test_compact_renumbers_densely(self):
+        inc = IncrementalColoring(4)
+        inc.add_edge(0, 1)
+        inc.add_edge(0, 2)
+        inc.add_edge(1, 2)  # forces a third color somewhere
+        colors = inc.compact()
+        used = sorted(set(colors.tolist()))
+        assert used == list(range(1, len(used) + 1))
+        inc.validate()
+
+    def test_interleaved_insert_delete(self):
+        gen = np.random.default_rng(9)
+        inc = IncrementalColoring(30)
+        present = set()
+        for _ in range(600):
+            u, v = int(gen.integers(30)), int(gen.integers(30))
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in present and gen.random() < 0.4:
+                inc.remove_edge(u, v)
+                present.discard(key)
+            else:
+                inc.add_edge(u, v)
+                present.add(key)
+            inc.validate()
+        assert inc.to_graph().num_undirected_edges == len(present)

@@ -1,0 +1,83 @@
+"""Tests for vertex-ordering strategies."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    ORDERINGS,
+    assert_proper_coloring,
+    compare_orderings,
+    greedy_coloring_fast,
+    num_colors,
+    ordering,
+)
+from repro.graph import degeneracy, erdos_renyi, rmat, star_graph
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_is_permutation(self, name, medium_powerlaw):
+        order = ordering(medium_powerlaw, name, seed=1)
+        assert sorted(order.tolist()) == list(range(medium_powerlaw.num_vertices))
+
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_produces_proper_coloring(self, name, small_random):
+        order = ordering(small_random, name, seed=2)
+        colors = greedy_coloring_fast(small_random, order=order)
+        assert_proper_coloring(small_random, colors)
+
+    def test_unknown_strategy(self, triangle):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            ordering(triangle, "bogus")
+
+    def test_natural(self, small_random):
+        assert np.array_equal(
+            ordering(small_random, "natural"),
+            np.arange(small_random.num_vertices),
+        )
+
+    def test_largest_first_degrees_descend(self, medium_powerlaw):
+        order = ordering(medium_powerlaw, "largest_first")
+        degs = medium_powerlaw.degrees()[order]
+        assert np.all(np.diff(degs) <= 0)
+
+    def test_random_seeded(self, small_random):
+        a = ordering(small_random, "random", seed=5)
+        b = ordering(small_random, "random", seed=5)
+        c = ordering(small_random, "random", seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_incidence_grows_connected(self):
+        """After the first vertex, each next vertex (in a connected graph)
+        has at least one already-ordered neighbour."""
+        g = rmat(7, 6, seed=9)
+        order = ordering(g, "incidence")
+        placed = set()
+        placed.add(int(order[0]))
+        disconnected = 0
+        for v in order[1:]:
+            nbrs = set(int(w) for w in g.neighbors(int(v)))
+            if not (nbrs & placed) and nbrs:
+                disconnected += 1
+            placed.add(int(v))
+        # Only component boundaries may lack a placed neighbour.
+        assert disconnected < 10
+
+
+class TestQuality:
+    def test_smallest_last_respects_degeneracy_bound(self, medium_powerlaw):
+        order = ordering(medium_powerlaw, "smallest_last")
+        colors = greedy_coloring_fast(medium_powerlaw, order=order)
+        assert num_colors(colors) <= degeneracy(medium_powerlaw) + 1
+
+    def test_compare_orderings_keys(self, small_random):
+        result = compare_orderings(small_random, seed=1)
+        assert set(result) == set(ORDERINGS)
+        assert all(v >= 1 for v in result.values())
+
+    def test_structured_orders_beat_random_on_star_forests(self):
+        g = star_graph(60)
+        result = compare_orderings(g, seed=3)
+        assert result["largest_first"] == 2
+        assert result["smallest_last"] == 2

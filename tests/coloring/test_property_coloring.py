@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) over the coloring algorithms.
+
+Strategy: generate arbitrary small undirected graphs; assert the core
+invariants of every algorithm — properness, bitwise/greedy equivalence,
+exact ≤ heuristic color counts, first-fit minimality.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import (
+    assert_proper_coloring,
+    bitwise_greedy_coloring,
+    chromatic_number,
+    dsatur_coloring,
+    first_free_color,
+    greedy_coloring,
+    greedy_coloring_fast,
+    gunrock_coloring,
+    jones_plassmann_coloring,
+    mis_coloring,
+    num_colors,
+    num_to_bits,
+)
+from repro.graph import CSRGraph
+
+
+@st.composite
+def graphs(draw, max_vertices=24, max_extra_edges=60):
+    """Random undirected simple graphs, including edgeless and dense ones."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=m,
+        )
+    )
+    return CSRGraph.from_edge_list(n, edges)
+
+
+common = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common
+@given(graphs())
+def test_greedy_is_proper(g):
+    r = greedy_coloring(g)
+    assert_proper_coloring(g, r.colors)
+
+
+@common
+@given(graphs())
+def test_bitwise_equals_greedy(g):
+    assert np.array_equal(
+        bitwise_greedy_coloring(g).colors, greedy_coloring(g).colors
+    )
+
+
+@common
+@given(graphs())
+def test_pruned_bitwise_equals_greedy(g):
+    assert np.array_equal(
+        bitwise_greedy_coloring(g, prune_uncolored=True).colors,
+        greedy_coloring_fast(g),
+    )
+
+
+@common
+@given(graphs())
+def test_dsatur_proper(g):
+    assert_proper_coloring(g, dsatur_coloring(g))
+
+
+@common
+@given(graphs(), st.integers(0, 5))
+def test_jones_plassmann_proper(g, seed):
+    assert_proper_coloring(g, jones_plassmann_coloring(g, seed=seed).colors)
+
+
+@common
+@given(graphs(), st.integers(0, 5))
+def test_gunrock_proper(g, seed):
+    assert_proper_coloring(g, gunrock_coloring(g, seed=seed).colors)
+
+
+@common
+@given(graphs(), st.integers(0, 5))
+def test_mis_coloring_proper(g, seed):
+    assert_proper_coloring(g, mis_coloring(g, seed=seed).colors)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(graphs(max_vertices=12, max_extra_edges=25))
+def test_exact_below_heuristics(g):
+    chi = chromatic_number(g)
+    assert chi <= num_colors(greedy_coloring_fast(g))
+    assert chi <= num_colors(dsatur_coloring(g))
+    # Greedy never exceeds max degree + 1 (the classic bound).
+    assert num_colors(greedy_coloring_fast(g)) <= g.max_degree() + 1
+
+
+@common
+@given(st.sets(st.integers(1, 200), max_size=30))
+def test_first_free_color_is_mex(used):
+    """first_free_color == the minimum excluded color of any color set."""
+    state = 0
+    for c in used:
+        state |= num_to_bits(c)
+    expected = 1
+    while expected in used:
+        expected += 1
+    assert first_free_color(state) == expected

@@ -1,0 +1,76 @@
+"""Tests for coloring validation."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    ColoringError,
+    assert_proper_coloring,
+    color_class_sizes,
+    find_conflicts,
+    is_proper_coloring,
+    num_colors,
+)
+from repro.graph import CSRGraph, complete_graph
+
+
+class TestFindConflicts:
+    def test_no_conflicts(self, triangle):
+        assert find_conflicts(triangle, np.array([1, 2, 3])) == []
+
+    def test_conflict_found(self, triangle):
+        conflicts = find_conflicts(triangle, np.array([1, 1, 2]))
+        assert conflicts == [(0, 1)]
+
+    def test_uncolored_never_conflicts(self, triangle):
+        assert find_conflicts(triangle, np.array([0, 0, 0])) == []
+
+    def test_length_mismatch(self, triangle):
+        with pytest.raises(ValueError):
+            find_conflicts(triangle, np.array([1, 2]))
+
+
+class TestIsProper:
+    def test_valid(self, triangle):
+        assert is_proper_coloring(triangle, np.array([1, 2, 3]))
+
+    def test_incomplete_rejected(self, triangle):
+        assert not is_proper_coloring(triangle, np.array([1, 2, 0]))
+        assert is_proper_coloring(
+            triangle, np.array([1, 2, 0]), require_complete=False
+        )
+
+    def test_wrong_length(self, triangle):
+        assert not is_proper_coloring(triangle, np.array([1, 2]))
+
+
+class TestAssertProper:
+    def test_passes(self, paper_example):
+        assert_proper_coloring(
+            paper_example, np.array([1, 2, 3, 1, 4, 1])
+        )
+
+    def test_reports_conflict_edge(self, triangle):
+        with pytest.raises(ColoringError, match="conflicting"):
+            assert_proper_coloring(triangle, np.array([1, 1, 2]))
+
+    def test_reports_uncolored(self, triangle):
+        with pytest.raises(ColoringError, match="uncolored"):
+            assert_proper_coloring(triangle, np.array([1, 2, 0]))
+
+    def test_reports_length(self, triangle):
+        with pytest.raises(ColoringError, match="entries"):
+            assert_proper_coloring(triangle, np.array([1, 2]))
+
+
+class TestCounts:
+    def test_num_colors(self):
+        assert num_colors(np.array([1, 2, 2, 5, 0])) == 3
+
+    def test_class_sizes(self):
+        sizes = color_class_sizes(np.array([1, 1, 2, 0, 2, 2]))
+        assert sizes == {1: 2, 2: 3}
+
+    def test_empty(self):
+        assert num_colors(np.array([], dtype=np.int64)) == 0
+        assert color_class_sizes(np.array([], dtype=np.int64)) == {}

@@ -1,0 +1,76 @@
+"""Shared fixtures: small deterministic graphs used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    cycle_graph,
+    degree_based_grouping,
+    erdos_renyi,
+    path_graph,
+    rmat,
+    road_grid,
+    sort_edges,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    """K3 — needs exactly 3 colors."""
+    return complete_graph(3, name="triangle")
+
+
+@pytest.fixture
+def paper_example() -> CSRGraph:
+    """The 6-vertex example of the paper's Figure 1.
+
+    Vertex 4's neighbours are 0, 2, 3, 5; vertices 0 and 3 end up green,
+    2 blue, so 4 must take the third color.
+    """
+    edges = [(0, 1), (0, 4), (1, 2), (2, 4), (3, 4), (4, 5), (2, 3), (1, 5)]
+    return CSRGraph.from_edge_list(6, edges, name="fig1")
+
+
+@pytest.fixture
+def small_random() -> CSRGraph:
+    return erdos_renyi(60, 0.12, seed=7, name="small-random")
+
+
+@pytest.fixture
+def medium_powerlaw() -> CSRGraph:
+    return rmat(9, 6, seed=11, name="medium-powerlaw")
+
+
+@pytest.fixture
+def preprocessed_powerlaw(medium_powerlaw: CSRGraph) -> CSRGraph:
+    """DBG-reordered + edge-sorted — the input BitColor expects."""
+    return sort_edges(degree_based_grouping(medium_powerlaw).graph)
+
+
+@pytest.fixture
+def small_grid() -> CSRGraph:
+    return road_grid(8, 8, seed=3, name="small-grid")
+
+
+@pytest.fixture
+def star10() -> CSRGraph:
+    return star_graph(10)
+
+
+@pytest.fixture
+def path10() -> CSRGraph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def cycle5() -> CSRGraph:
+    return cycle_graph(5)
+
+
+def assert_array_equal(a, b, msg=""):
+    assert np.array_equal(np.asarray(a), np.asarray(b)), msg or f"{a} != {b}"

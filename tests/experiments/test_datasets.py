@@ -1,0 +1,69 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.experiments import (
+    DATASET_KEYS,
+    REGISTRY,
+    load_dataset,
+    paper_hdv_fraction,
+)
+from repro.graph import is_descending_degree_order
+
+
+class TestRegistry:
+    def test_ten_datasets(self):
+        assert len(DATASET_KEYS) == 10
+        assert set(DATASET_KEYS) == {
+            "EF", "GD", "CD", "CA", "CL", "RC", "RP", "RT", "CO", "CF"
+        }
+
+    def test_paper_stats_match_table3(self):
+        assert REGISTRY["EF"].paper_nodes == 4_100
+        assert REGISTRY["CF"].paper_edges == 1_806_100_000
+        assert REGISTRY["RC"].category == "Road network"
+
+    def test_hdv_fractions(self):
+        """Small graphs fit entirely; Friendster caches under 1 %."""
+        assert paper_hdv_fraction(4_100) == 1.0
+        assert REGISTRY["CD"].hdv_fraction == 1.0
+        assert REGISTRY["CF"].hdv_fraction < 0.01
+        assert 0.1 < REGISTRY["CL"].hdv_fraction < 0.2
+
+    def test_avg_degree(self):
+        assert REGISTRY["EF"].paper_avg_degree == pytest.approx(43.0, rel=0.01)
+
+
+class TestLoading:
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown"):
+            load_dataset("XX")
+
+    def test_memoised(self):
+        a = load_dataset("EF")
+        b = load_dataset("EF")
+        assert a is b
+
+    def test_preprocessed_properties(self):
+        g = load_dataset("EF")
+        assert is_descending_degree_order(g)
+        assert g.meta.get("edges_sorted")
+        assert g.is_symmetric()
+
+    def test_raw_differs(self):
+        raw = load_dataset("EF", preprocessed=False)
+        pre = load_dataset("EF")
+        assert raw.num_edges == pre.num_edges
+        assert not raw.meta.get("edges_sorted")
+
+    def test_config_scaling(self):
+        spec = REGISTRY["CL"]
+        cfg = spec.config_for(parallelism=4, standin_vertices=10_000)
+        cached = cfg.cache_capacity_vertices
+        assert cached == pytest.approx(spec.hdv_fraction * 10_000, abs=1)
+        assert cfg.parallelism == 4
+
+    def test_config_full_coverage(self):
+        spec = REGISTRY["EF"]
+        cfg = spec.config_for(parallelism=2, standin_vertices=4000)
+        assert cfg.cache_capacity_vertices >= 4000

@@ -1,0 +1,140 @@
+"""Integration tests for the per-figure/table experiment entry points.
+
+These run the real pipeline on a 2–3 dataset subset (the full suite is
+the benchmark harness's job) and check structural invariants plus the
+direction of each paper claim.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig3a_breakdown,
+    fig3b_overlap,
+    fig11_ablation,
+    fig12_scaling,
+    fig13_comparison,
+    fig14_resources,
+    report,
+    table2_preprocessing,
+    table3_datasets,
+    table4_colors,
+)
+
+SUBSET = ["EF", "RC"]
+
+
+class TestFig3:
+    def test_breakdown_rows(self):
+        rows = fig3a_breakdown(SUBSET)
+        assert set(rows) == {"EF", "RC", "average", "aggregate"}
+        for v in rows.values():
+            assert sum(v.values()) == pytest.approx(1.0)
+
+    def test_stage1_heavy(self):
+        rows = fig3a_breakdown(SUBSET)
+        assert rows["average"]["stage1"] > rows["average"]["stage2"]
+
+    def test_overlap_low(self):
+        rows = fig3b_overlap(SUBSET, intervals=(1, 4), sample=300)
+        # The paper's claim: overlap mostly under 10 %.
+        assert rows["average"][1] < 0.25
+        assert rows["average"][4] >= rows["average"][1]
+
+
+class TestFig11:
+    def test_cumulative_improvement(self):
+        result = fig11_ablation(["EF"])
+        steps = result["EF"]
+        assert [s.label for s in steps] == ["BSL", "+HDC", "+BWC", "+MGR", "+PUV"]
+        totals = [s.total_norm for s in steps]
+        # Each cumulative step is no slower than the previous one.
+        assert all(b <= a + 1e-9 for a, b in zip(totals, totals[1:]))
+        # The BSL row is the normalization anchor.
+        assert totals[0] == 1.0
+        # Final reduction is substantial (paper: 82.91 % total).
+        assert totals[-1] < 0.5
+
+    def test_hdc_cuts_dram(self):
+        steps = fig11_ablation(["EF"])["EF"]
+        assert steps[1].dram_norm < 0.6  # EF fits on chip entirely
+
+    def test_bwc_cuts_compute(self):
+        steps = fig11_ablation(["EF"])["EF"]
+        assert steps[2].compute_norm < steps[1].compute_norm
+
+
+class TestFig12:
+    def test_speedup_shape(self):
+        result = fig12_scaling(["EF"], parallelisms=(1, 2, 4))
+        s = result["EF"]
+        assert s[1] == pytest.approx(1.0)
+        assert 1.0 < s[2] <= 2.6
+        assert s[2] < s[4] <= 4.8
+
+
+class TestFig13:
+    def test_bands(self):
+        result = fig13_comparison(SUBSET, parallelism=8)
+        for row in result.rows:
+            assert row.speedup_vs_cpu > 5
+            assert row.speedup_vs_gpu > 0.5
+            assert row.fpga_time_s < row.cpu_time_s
+
+
+class TestFig14:
+    def test_reports(self):
+        reports = fig14_resources((1, 16))
+        assert reports[0].parallelism == 1
+        assert reports[1].bram_blocks > reports[0].bram_blocks
+
+
+class TestTables:
+    def test_table2(self):
+        rows = table2_preprocessing(SUBSET)
+        for r in rows:
+            assert r.reorder_ms < r.coloring_ms
+
+    def test_table3(self):
+        rows = table3_datasets(SUBSET)
+        assert rows[0].dataset == "EF"
+        assert rows[0].standin_nodes > 0
+
+    def test_table4(self):
+        rows = table4_colors(SUBSET)
+        for r in rows:
+            assert r.colors_sorted <= r.colors_bsl
+
+
+class TestReportRendering:
+    def test_fig3a(self):
+        out = report.render_fig3a(fig3a_breakdown(SUBSET))
+        assert "Stage1" in out and "EF" in out
+
+    def test_fig12(self):
+        out = report.render_fig12(fig12_scaling(["EF"], parallelisms=(1, 2)))
+        assert "P=2" in out and "paper" in out
+
+    def test_fig13(self):
+        out = report.render_fig13(fig13_comparison(SUBSET, parallelism=8))
+        assert "vs CPU" in out and "KCV/J" in out
+
+    def test_fig14(self):
+        out = report.render_fig14(fig14_resources((1, 2)))
+        assert "BRAM" in out
+
+    def test_table_renderers(self):
+        assert "Reorder" in report.render_table2(table2_preprocessing(SUBSET))
+        assert "Stand-in" in report.render_table3(table3_datasets(SUBSET))
+        assert "Sorted colors" in report.render_table4(table4_colors(SUBSET))
+
+    def test_fig11_render(self):
+        assert "BSL" in report.render_fig11(fig11_ablation(["EF"]))
+
+    def test_fig3b_render(self):
+        assert "k=1" in report.render_fig3b(fig3b_overlap(["EF"], intervals=(1,), sample=100))
+
+    def test_generic_table(self):
+        out = report.render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")

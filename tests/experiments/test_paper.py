@@ -1,0 +1,50 @@
+"""Tests for the centralized paper-numbers record."""
+
+import pytest
+
+from repro.experiments import PAPER
+
+
+class TestPaperNumbers:
+    def test_fig3a_breakdown_sums_to_one(self):
+        assert sum(PAPER.fig3a_stage_breakdown) == pytest.approx(1.0)
+
+    def test_bands_ordered(self):
+        lo, hi = PAPER.fig13_cpu_speedup_range
+        assert lo < PAPER.fig13_cpu_speedup_avg < hi
+        lo, hi = PAPER.fig13_gpu_speedup_range
+        assert lo < PAPER.fig13_gpu_speedup_avg < hi
+        lo, hi = PAPER.fig12_speedup_range
+        assert lo < hi
+
+    def test_throughput_and_energy_consistent(self):
+        """The paper's own throughput/energy figures imply the platform
+        powers the energy model encodes."""
+        t = PAPER.throughput_mcvs
+        e = PAPER.energy_kcvj
+        # implied watts = MCV/S * 1e6 / (KCV/J * 1e3)
+        cpu_w = t["cpu"] * 1e6 / (e["cpu"] * 1e3)
+        gpu_w = t["gpu"] * 1e6 / (e["gpu"] * 1e3)
+        fpga_w = t["bitcolor"] * 1e6 / (e["bitcolor"] * 1e3)
+        assert cpu_w == pytest.approx(73.3, rel=0.02)
+        assert gpu_w == pytest.approx(805, rel=0.02)
+        assert fpga_w == pytest.approx(267, rel=0.02)
+
+    def test_energy_ratios_match_kcvj(self):
+        e = PAPER.energy_kcvj
+        assert e["bitcolor"] / e["cpu"] == pytest.approx(
+            PAPER.energy_ratio_vs_cpu, abs=0.2
+        )
+        assert e["bitcolor"] / e["gpu"] == pytest.approx(
+            PAPER.energy_ratio_vs_gpu, abs=0.2
+        )
+
+    def test_reduction_fractions_in_range(self):
+        for frac in (
+            PAPER.fig11_dram_reduction,
+            PAPER.fig11_compute_reduction,
+            PAPER.fig11_total_reduction,
+            PAPER.table4_avg_reduction,
+            PAPER.fig3b_average_overlap,
+        ):
+            assert 0.0 < frac < 1.0

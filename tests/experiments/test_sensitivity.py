@@ -1,0 +1,53 @@
+"""Tests for the calibration-sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments import (
+    sweep_cpu_memory,
+    sweep_dram_occupancy,
+    sweep_gpu_frontier_rate,
+    sweep_physical_channels,
+)
+
+KEYS = ("EF", "RC")
+
+
+class TestSweeps:
+    def test_dram_occupancy_direction(self):
+        rows = sweep_dram_occupancy(values=(5, 20), keys=KEYS)
+        # Costlier accelerator DRAM -> smaller speedups.
+        assert rows[0].avg_speedup_vs_cpu > rows[1].avg_speedup_vs_cpu
+        # But BitColor still wins clearly even at doubled DRAM cost.
+        assert rows[1].avg_speedup_vs_cpu > 15
+
+    def test_channels_direction(self):
+        rows = sweep_physical_channels(values=(2, 8), keys=KEYS)
+        assert rows[1].avg_speedup_vs_cpu >= rows[0].avg_speedup_vs_cpu
+
+    def test_cpu_memory_direction(self):
+        rows = sweep_cpu_memory(scales=(0.5, 2.0), keys=KEYS)
+        # A slower CPU memory system inflates only the CPU ratio.
+        assert rows[1].avg_speedup_vs_cpu > rows[0].avg_speedup_vs_cpu
+        assert rows[0].avg_speedup_vs_gpu == pytest.approx(
+            rows[1].avg_speedup_vs_gpu
+        )
+
+    def test_gpu_rate_direction(self):
+        rows = sweep_gpu_frontier_rate(scales=(0.5, 2.0), keys=KEYS)
+        # A faster GPU shrinks only the GPU ratio.
+        assert rows[0].avg_speedup_vs_gpu > rows[1].avg_speedup_vs_gpu
+        assert rows[0].avg_speedup_vs_cpu == pytest.approx(
+            rows[1].avg_speedup_vs_cpu
+        )
+
+    def test_conclusion_robust(self):
+        """The headline direction (FPGA > GPU > CPU) survives halving or
+        doubling every perturbed constant."""
+        for rows in (
+            sweep_dram_occupancy(values=(5, 20), keys=KEYS),
+            sweep_cpu_memory(scales=(0.5, 2.0), keys=KEYS),
+            sweep_gpu_frontier_rate(scales=(0.5, 2.0), keys=KEYS),
+        ):
+            for r in rows:
+                assert r.avg_speedup_vs_cpu > 10
+                assert r.avg_speedup_vs_gpu > 0.8

@@ -1,0 +1,176 @@
+"""Tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, GraphError, complete_graph, erdos_renyi
+
+
+class TestConstruction:
+    def test_from_edge_list_basic(self):
+        g = CSRGraph.from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_vertices == 4
+        assert g.num_edges == 6  # symmetrized
+        assert g.num_undirected_edges == 3
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+
+    def test_from_edge_list_no_symmetrize(self):
+        g = CSRGraph.from_edge_list(3, [(0, 1), (1, 2)], symmetrize=False)
+        assert g.num_edges == 2
+        assert g.neighbors(1).tolist() == [2]
+        assert g.neighbors(2).tolist() == []
+
+    def test_dedup(self):
+        g = CSRGraph.from_edge_list(3, [(0, 1), (0, 1), (1, 0)])
+        assert g.num_undirected_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edge_list(3, [(0, 0), (0, 1)])
+        assert not g.has_self_loops()
+        assert g.num_undirected_edges == 1
+
+    def test_self_loops_kept_when_requested(self):
+        g = CSRGraph.from_edge_list(
+            2, [(0, 0), (0, 1)], drop_self_loops=False, symmetrize=False, dedup=False
+        )
+        assert g.has_self_loops()
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.neighbors(4).size == 0
+
+    def test_zero_vertex_graph(self):
+        g = CSRGraph.empty(0)
+        assert g.num_vertices == 0
+        assert g.degrees().size == 0
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_list(2, [(0, 2)])
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_list(2, [(-1, 0)])
+
+    def test_malformed_offsets_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(offsets=np.array([1, 2]), edges=np.array([0, 0]))
+        with pytest.raises(GraphError):
+            CSRGraph(offsets=np.array([0, 2]), edges=np.array([0]))
+        with pytest.raises(GraphError):
+            CSRGraph(offsets=np.array([0, 2, 1]), edges=np.array([0, 1]))
+
+    def test_edge_destination_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(offsets=np.array([0, 1]), edges=np.array([5]))
+
+    def test_arrays_are_read_only(self):
+        g = CSRGraph.from_edge_list(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.edges[0] = 2
+        with pytest.raises(ValueError):
+            g.offsets[0] = 1
+
+    def test_bad_edge_list_shape(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edge_list(3, [(0, 1, 2)])
+
+
+class TestQueries:
+    def test_degrees(self, triangle):
+        assert triangle.degrees().tolist() == [2, 2, 2]
+        assert triangle.max_degree() == 2
+        assert triangle.degree(0) == 2
+
+    def test_in_degrees_symmetric(self, small_random):
+        assert np.array_equal(small_random.in_degrees(), small_random.degrees())
+
+    def test_edge_range_matches_neighbors(self, paper_example):
+        s, e = paper_example.edge_range(4)
+        assert (paper_example.edges[s:e] == paper_example.neighbors(4)).all()
+
+    def test_has_edge(self, paper_example):
+        assert paper_example.has_edge(0, 4)
+        assert paper_example.has_edge(4, 0)
+        assert not paper_example.has_edge(0, 3)
+
+    def test_has_edge_sorted_path(self, paper_example):
+        g = paper_example.with_sorted_edges()
+        assert g.has_edge(0, 4)
+        assert not g.has_edge(0, 3)
+
+    def test_vertex_out_of_range(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors(3)
+        with pytest.raises(GraphError):
+            triangle.degree(-1)
+
+    def test_iter_edges_count(self, small_random):
+        assert sum(1 for _ in small_random.iter_edges()) == small_random.num_edges
+
+    def test_edge_array_shape(self, small_random):
+        arr = small_random.edge_array()
+        assert arr.shape == (small_random.num_edges, 2)
+
+    def test_source_of_edge_slots(self, paper_example):
+        src = paper_example.source_of_edge_slots()
+        assert src.size == paper_example.num_edges
+        # Slot sources must be consistent with offsets.
+        for v in range(paper_example.num_vertices):
+            s, e = paper_example.edge_range(v)
+            assert (src[s:e] == v).all()
+
+
+class TestPredicates:
+    def test_is_symmetric(self, small_random):
+        assert small_random.is_symmetric()
+
+    def test_not_symmetric(self):
+        g = CSRGraph.from_edge_list(3, [(0, 1)], symmetrize=False)
+        assert not g.is_symmetric()
+
+    def test_has_sorted_edges(self, small_random):
+        assert small_random.has_sorted_edges()  # from_arrays lexsorts
+
+    def test_unsorted_detection(self):
+        g = CSRGraph(offsets=np.array([0, 2, 2, 2]), edges=np.array([2, 1]))
+        assert not g.has_sorted_edges()
+
+    def test_duplicate_detection(self):
+        g = CSRGraph(offsets=np.array([0, 2, 2]), edges=np.array([1, 1]))
+        assert g.has_duplicate_edges()
+        g2 = CSRGraph(offsets=np.array([0, 2, 2, 2]), edges=np.array([1, 2]))
+        assert not g2.has_duplicate_edges()
+
+
+class TestDerivation:
+    def test_with_sorted_edges(self):
+        g = CSRGraph(offsets=np.array([0, 3, 3, 3]), edges=np.array([2, 0, 1]))
+        s = g.with_sorted_edges()
+        assert s.neighbors(0).tolist() == [0, 1, 2]
+        assert s.meta["edges_sorted"] is True
+        # Original untouched.
+        assert g.neighbors(0).tolist() == [2, 0, 1]
+
+    def test_subgraph(self, paper_example):
+        sub = paper_example.subgraph([0, 1, 4])
+        assert sub.num_vertices == 3
+        # Edges (0,1) and (0,4) survive; (1,4) doesn't exist.
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(0, 2)  # old 4 renumbered to 2
+        assert not sub.has_edge(1, 2)
+
+    def test_subgraph_invalid_vertex(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.subgraph([0, 7])
+
+    def test_networkx_roundtrip(self, small_random):
+        nx_g = small_random.to_networkx()
+        back = CSRGraph.from_networkx(nx_g)
+        assert back.num_vertices == small_random.num_vertices
+        assert back.num_undirected_edges == small_random.num_undirected_edges
+
+    def test_complete_graph_density(self):
+        g = complete_graph(6)
+        assert g.num_undirected_edges == 15
+        assert g.degrees().tolist() == [5] * 6

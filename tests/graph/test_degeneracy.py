@@ -1,0 +1,93 @@
+"""Tests for k-core decomposition and degeneracy ordering."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import greedy_coloring_fast, num_colors
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    core_decomposition,
+    cycle_graph,
+    degeneracy,
+    degeneracy_order,
+    erdos_renyi,
+    path_graph,
+    rmat,
+    star_graph,
+)
+
+
+class TestKnownValues:
+    def test_complete(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_cycle(self):
+        assert degeneracy(cycle_graph(10)) == 2
+
+    def test_path(self):
+        assert degeneracy(path_graph(10)) == 1
+
+    def test_star(self):
+        assert degeneracy(star_graph(20)) == 1
+
+    def test_tree(self):
+        edges = [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]
+        assert degeneracy(CSRGraph.from_edge_list(6, edges)) == 1
+
+    def test_empty(self):
+        assert degeneracy(CSRGraph.empty(0)) == 0
+        assert degeneracy(CSRGraph.empty(5)) == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = erdos_renyi(80, 0.1, seed=3)
+        ours = core_decomposition(g).core_numbers
+        theirs = nx.core_number(g.to_networkx())
+        for v in range(g.num_vertices):
+            assert ours[v] == theirs[v]
+
+
+class TestDecompositionProperties:
+    def test_core_membership(self):
+        """Inside the k-core, every vertex has >= k neighbours in it."""
+        g = rmat(8, 6, seed=5)
+        dec = core_decomposition(g)
+        k = dec.degeneracy
+        core = set(dec.k_core_vertices(k).tolist())
+        assert core
+        for v in core:
+            inside = sum(1 for w in g.neighbors(v) if int(w) in core)
+            assert inside >= k
+
+    def test_removal_order_is_permutation(self):
+        g = erdos_renyi(60, 0.1, seed=7)
+        dec = core_decomposition(g)
+        assert sorted(dec.removal_order.tolist()) == list(range(60))
+
+    def test_peeling_property(self):
+        """Each peeled vertex has at most `degeneracy` later-peeled
+        neighbours — the defining property of the order."""
+        g = erdos_renyi(50, 0.15, seed=8)
+        dec = core_decomposition(g)
+        pos = np.empty(g.num_vertices, dtype=int)
+        pos[dec.removal_order] = np.arange(g.num_vertices)
+        for v in range(g.num_vertices):
+            later = sum(1 for w in g.neighbors(v) if pos[int(w)] > pos[v])
+            assert later <= dec.degeneracy
+
+
+class TestDegeneracyOrdering:
+    def test_color_bound(self):
+        """Greedy in smallest-last order uses ≤ degeneracy + 1 colors."""
+        for seed in range(4):
+            g = rmat(8, 5, seed=seed)
+            order = degeneracy_order(g)
+            colors = greedy_coloring_fast(g, order=order)
+            assert num_colors(colors) <= degeneracy(g) + 1
+
+    def test_often_beats_max_degree_bound(self):
+        g = star_graph(50)
+        order = degeneracy_order(g)
+        assert num_colors(greedy_coloring_fast(g, order=order)) == 2

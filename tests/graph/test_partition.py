@@ -1,0 +1,67 @@
+"""Tests for the HDV/LDV partition (vertex threshold selection)."""
+
+import pytest
+
+from repro.graph import (
+    degree_based_grouping,
+    partition_by_cache_capacity,
+    partition_by_degree,
+    rmat,
+    star_graph,
+)
+
+
+@pytest.fixture
+def dbg_graph():
+    return degree_based_grouping(rmat(9, 6, seed=12)).graph
+
+
+class TestCacheCapacity:
+    def test_capacity_limits_vt(self, dbg_graph):
+        p = partition_by_cache_capacity(dbg_graph, cache_bytes=100, color_bytes=2)
+        assert p.v_t == 50
+        assert p.num_hdv == 50
+        assert p.num_ldv == dbg_graph.num_vertices - 50
+
+    def test_whole_graph_fits(self, dbg_graph):
+        p = partition_by_cache_capacity(dbg_graph, cache_bytes=1 << 20)
+        assert p.v_t == dbg_graph.num_vertices
+        assert p.num_ldv == 0
+        assert p.hdv_edge_coverage == 1.0
+
+    def test_is_hdv(self, dbg_graph):
+        p = partition_by_cache_capacity(dbg_graph, cache_bytes=20)
+        assert p.is_hdv(0)
+        assert not p.is_hdv(p.v_t)
+
+    def test_invalid(self, dbg_graph):
+        with pytest.raises(ValueError):
+            partition_by_cache_capacity(dbg_graph, cache_bytes=-1)
+        with pytest.raises(ValueError):
+            partition_by_cache_capacity(dbg_graph, 100, color_bytes=0)
+
+    def test_coverage_beats_fraction(self, dbg_graph):
+        """After DBG, caching the top k% of vertices covers far more than
+        k% of edge endpoints — the whole point of the HDV cache."""
+        n = dbg_graph.num_vertices
+        p = partition_by_cache_capacity(dbg_graph, cache_bytes=2 * (n // 10))
+        assert p.hdv_edge_coverage > 2 * (p.num_hdv / n)
+
+
+class TestDegreePartition:
+    def test_threshold_split(self, dbg_graph):
+        p = partition_by_degree(dbg_graph, min_degree=10)
+        degs = dbg_graph.in_degrees()
+        if p.v_t < dbg_graph.num_vertices:
+            assert degs[p.v_t] < 10
+        if p.v_t > 0:
+            assert degs[p.v_t - 1] >= 10
+
+    def test_all_above(self):
+        g = degree_based_grouping(star_graph(5)).graph
+        p = partition_by_degree(g, min_degree=1)
+        assert p.v_t == g.num_vertices
+
+    def test_none_above(self, dbg_graph):
+        p = partition_by_degree(dbg_graph, min_degree=10**9)
+        assert p.v_t == 0

@@ -1,0 +1,121 @@
+"""Tests for DBG reordering and edge sorting."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    GraphError,
+    apply_permutation,
+    degree_based_grouping,
+    erdos_renyi,
+    invert_permutation,
+    is_descending_degree_order,
+    random_permutation,
+    rmat,
+    sort_edges,
+    star_graph,
+)
+from repro.coloring import assert_proper_coloring, greedy_coloring_fast
+
+
+class TestPermutations:
+    def test_invert(self):
+        perm = np.array([2, 0, 1, 3])
+        inv = invert_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(4))
+        assert np.array_equal(inv[perm], np.arange(4))
+
+    def test_apply_identity(self, small_random):
+        g = apply_permutation(small_random, np.arange(small_random.num_vertices))
+        assert np.array_equal(g.offsets, small_random.offsets)
+
+    def test_apply_preserves_structure(self, small_random):
+        gen = np.random.default_rng(1)
+        perm = gen.permutation(small_random.num_vertices)
+        g = apply_permutation(small_random, perm)
+        assert g.num_edges == small_random.num_edges
+        # Edge (perm-inverse) consistency: new u~v iff old perm[u]~perm[v].
+        inv = invert_permutation(perm)
+        for old_u, old_v in list(small_random.iter_edges())[:50]:
+            assert g.has_edge(int(inv[old_u]), int(inv[old_v]))
+
+    def test_apply_invalid_permutation(self, triangle):
+        with pytest.raises(GraphError):
+            apply_permutation(triangle, np.array([0, 0, 1]))
+        with pytest.raises(GraphError):
+            apply_permutation(triangle, np.array([0, 1]))
+
+
+class TestDBG:
+    def test_descending_degree(self, medium_powerlaw):
+        r = degree_based_grouping(medium_powerlaw)
+        assert is_descending_degree_order(r.graph)
+        assert r.graph.meta["dbg_reordered"] is True
+
+    def test_star_hub_first(self):
+        # Build a star with the hub at the END so DBG must move it first.
+        g = star_graph(6)
+        rr = random_permutation(g, seed=3)
+        r = degree_based_grouping(rr.graph)
+        assert r.graph.degree(0) == 5
+
+    def test_stable_tie_break(self):
+        """Equal-degree vertices keep their original relative order."""
+        g = CSRGraph.from_edge_list(4, [(0, 1), (2, 3)])
+        r = degree_based_grouping(g)
+        assert np.array_equal(r.new_to_old, np.arange(4))
+
+    def test_permutations_are_inverses(self, medium_powerlaw):
+        r = degree_based_grouping(medium_powerlaw)
+        assert np.array_equal(
+            r.new_to_old[r.old_to_new], np.arange(medium_powerlaw.num_vertices)
+        )
+
+    def test_coloring_maps_back(self, medium_powerlaw):
+        r = degree_based_grouping(medium_powerlaw)
+        colors_new = greedy_coloring_fast(r.graph)
+        colors_old = r.map_coloring_to_original(colors_new)
+        assert_proper_coloring(medium_powerlaw, colors_old)
+
+    def test_map_coloring_wrong_length(self, medium_powerlaw):
+        r = degree_based_grouping(medium_powerlaw)
+        with pytest.raises(GraphError):
+            r.map_coloring_to_original(np.zeros(3))
+
+    def test_degree_multiset_preserved(self, medium_powerlaw):
+        r = degree_based_grouping(medium_powerlaw)
+        assert sorted(r.graph.degrees()) == sorted(medium_powerlaw.degrees())
+
+
+class TestEdgeSorting:
+    def test_sorted_after(self, medium_powerlaw):
+        r = degree_based_grouping(medium_powerlaw)
+        g = sort_edges(r.graph)
+        assert g.has_sorted_edges()
+        assert g.meta["edges_sorted"] is True
+
+    def test_neighbour_sets_preserved(self, medium_powerlaw):
+        g = sort_edges(medium_powerlaw)
+        for v in range(0, medium_powerlaw.num_vertices, 37):
+            assert sorted(medium_powerlaw.neighbors(v).tolist()) == g.neighbors(v).tolist()
+
+    def test_renaming_invalidates_sortedness_flag(self, medium_powerlaw):
+        g = sort_edges(medium_powerlaw)
+        r = random_permutation(g, seed=9)
+        assert "edges_sorted" not in r.graph.meta
+
+
+class TestRandomPermutation:
+    def test_deterministic(self, small_random):
+        a = random_permutation(small_random, seed=4)
+        b = random_permutation(small_random, seed=4)
+        assert np.array_equal(a.new_to_old, b.new_to_old)
+
+    def test_full_pipeline_preserves_coloring_validity(self):
+        g = rmat(8, 6, seed=20)
+        r = degree_based_grouping(g)
+        gs = sort_edges(r.graph)
+        colors = greedy_coloring_fast(gs)
+        assert_proper_coloring(gs, colors)
+        assert_proper_coloring(g, r.map_coloring_to_original(colors))

@@ -1,0 +1,117 @@
+"""Tests for graph statistics (overlap ratio, degree stats, HDV coverage)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    degree_histogram,
+    degree_stats,
+    gini_coefficient,
+    hdv_coverage,
+    neighborhood_overlap_ratio,
+    overlap_ratio_sweep,
+    path_graph,
+    rmat,
+    star_graph,
+)
+
+
+class TestDegreeStats:
+    def test_complete(self):
+        s = degree_stats(complete_graph(5))
+        assert s.min_degree == s.max_degree == 4
+        assert s.mean_degree == 4.0
+        assert s.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_skew(self):
+        s = degree_stats(star_graph(20))
+        assert s.max_degree == 19
+        assert s.min_degree == 1
+        assert s.gini > 0.4
+
+    def test_empty(self):
+        s = degree_stats(CSRGraph.empty(0))
+        assert s.num_vertices == 0
+        assert s.mean_degree == 0.0
+
+    def test_histogram(self):
+        h = degree_histogram(star_graph(5))
+        assert h[1] == 4
+        assert h[4] == 1
+
+    def test_gini_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.array([0, 0])) == 0.0
+
+
+class TestOverlapRatio:
+    def test_complete_graph_full_overlap(self):
+        """In K_n, consecutive vertices share all but two neighbours."""
+        g = complete_graph(10)
+        r = neighborhood_overlap_ratio(g, 1)
+        # N(v) and N(v-1) share n-2 of v's n-1 neighbours.
+        assert r == pytest.approx(8 / 9)
+
+    def test_path_graph_no_overlap(self):
+        """On a path, consecutive vertices never share a neighbour...
+
+        except that v-1's neighbour list contains v-2 and v, and N(v)
+        = {v-1, v+1}; overlap is empty.
+        """
+        g = path_graph(50)
+        assert neighborhood_overlap_ratio(g, 1) == pytest.approx(0.0)
+
+    def test_handmade_example(self):
+        # 0-2, 1-2, 0-3, 1-3: vertices 2 and 3 share both neighbours.
+        g = CSRGraph.from_edge_list(4, [(0, 2), (1, 2), (0, 3), (1, 3)])
+        r = neighborhood_overlap_ratio(g, 1)
+        # v=1: N(1)={2,3}, N(0)={2,3} -> 1.0 ; v=2: N(2)={0,1}, N(1)={2,3} -> 0
+        # v=3: N(3)={0,1}, N(2)={0,1} -> 1.0 ; mean = 2/3
+        assert r == pytest.approx(2 / 3)
+
+    def test_interval_growth(self):
+        """Larger windows can only increase the union, so the ratio is
+        non-decreasing in the interval."""
+        g = rmat(9, 6, seed=8)
+        r1 = neighborhood_overlap_ratio(g, 1)
+        r8 = neighborhood_overlap_ratio(g, 8)
+        assert r8 >= r1
+
+    def test_power_law_low_overlap(self):
+        """The paper's observation: overlap is small on real-ish graphs."""
+        g = rmat(10, 6, seed=9)
+        assert neighborhood_overlap_ratio(g, 4, sample=500) < 0.25
+
+    def test_sweep_keys(self):
+        g = rmat(8, 4, seed=10)
+        sweep = overlap_ratio_sweep(g, (1, 2, 4), sample=200)
+        assert set(sweep.keys()) == {1, 2, 4}
+
+    def test_invalid_interval(self, triangle):
+        with pytest.raises(ValueError):
+            neighborhood_overlap_ratio(triangle, 0)
+
+    def test_tiny_graph(self, triangle):
+        assert neighborhood_overlap_ratio(triangle, 5) == 0.0
+
+
+class TestHDVCoverage:
+    def test_star_hub_covers_everything(self):
+        g = star_graph(10)
+        # Caching just the hub covers the 9 leaf->hub slots of 18 total.
+        assert hdv_coverage(g, 1) == pytest.approx(0.5)
+
+    def test_full_coverage(self, small_random):
+        assert hdv_coverage(small_random, small_random.num_vertices) == 1.0
+
+    def test_zero_coverage(self, small_random):
+        assert hdv_coverage(small_random, 0) == 0.0
+
+    def test_monotone(self, medium_powerlaw):
+        vals = [hdv_coverage(medium_powerlaw, t) for t in (0, 10, 100, 400)]
+        assert vals == sorted(vals)
+
+    def test_empty_graph(self):
+        assert hdv_coverage(CSRGraph.empty(3), 1) == 0.0

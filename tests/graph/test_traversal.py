@@ -1,0 +1,93 @@
+"""Tests for BFS / connected-components utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, cycle_graph, erdos_renyi, path_graph, road_grid, star_graph
+from repro.graph.traversal import (
+    bfs_levels,
+    component_summary,
+    connected_components,
+    eccentricity_estimate,
+    is_connected,
+)
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4]
+        assert bfs_levels(g, 2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_unreachable(self):
+        g = CSRGraph.from_edge_list(4, [(0, 1)])
+        lv = bfs_levels(g, 0)
+        assert lv[1] == 1
+        assert lv[2] == -1 and lv[3] == -1
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        lv = bfs_levels(g, 0)
+        assert lv.max() == 4
+
+    def test_invalid_source(self):
+        from repro.graph import GraphError
+
+        with pytest.raises(GraphError):
+            bfs_levels(path_graph(3), 5)
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = star_graph(6)
+        assert np.unique(connected_components(g)).size == 1
+        assert is_connected(g)
+
+    def test_multiple(self):
+        g = CSRGraph.from_edge_list(6, [(0, 1), (2, 3)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+        # Isolated vertices each get their own component.
+        assert np.unique(comp).size == 4
+        assert not is_connected(g)
+
+    def test_summary(self):
+        g = CSRGraph.from_edge_list(5, [(0, 1), (1, 2)])
+        s = component_summary(g)
+        assert s.num_components == 3
+        assert s.largest_size == 3
+        assert s.largest_fraction == pytest.approx(0.6)
+        assert s.sizes == (3, 1, 1)
+
+    def test_empty(self):
+        s = component_summary(CSRGraph.empty(0))
+        assert s.num_components == 0
+        assert is_connected(CSRGraph.empty(0))
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = erdos_renyi(70, 0.03, seed=5)
+        ours = np.unique(connected_components(g)).size
+        theirs = nx.number_connected_components(g.to_networkx())
+        assert ours == theirs
+
+
+class TestEccentricity:
+    def test_path_exact(self):
+        g = path_graph(20)
+        assert eccentricity_estimate(g, probes=2, seed=1) == 19
+
+    def test_lower_bound(self):
+        import networkx as nx
+
+        g = road_grid(8, 8, diag_prob=0.0, removal_prob=0.0, seed=0)
+        est = eccentricity_estimate(g, probes=3, seed=2)
+        true = nx.diameter(g.to_networkx())
+        assert est <= true
+        assert est >= true // 2
+
+    def test_empty(self):
+        assert eccentricity_estimate(CSRGraph.empty(0)) == 0

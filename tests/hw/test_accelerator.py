@@ -1,0 +1,183 @@
+"""End-to-end tests for the BitColor accelerator simulator.
+
+The load-bearing invariant: for every graph, parallelism and optimization
+setting, the accelerator's coloring equals the sequential greedy coloring
+in ascending vertex order, and is therefore proper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring import assert_proper_coloring, greedy_coloring_fast
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    degree_based_grouping,
+    erdos_renyi,
+    rmat,
+    road_grid,
+    sort_edges,
+    star_graph,
+)
+from repro.hw import BitColorAccelerator, HWConfig, OptimizationFlags
+
+
+def preprocess(g):
+    return sort_edges(degree_based_grouping(g).graph)
+
+
+def small_cfg(p=4, cache_vertices=4096):
+    return HWConfig(parallelism=p, cache_bytes=cache_vertices * 2)
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_matches_sequential_greedy(self, p, preprocessed_powerlaw):
+        res = BitColorAccelerator(small_cfg(p)).run(preprocessed_powerlaw)
+        assert np.array_equal(res.colors, greedy_coloring_fast(preprocessed_powerlaw))
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            OptimizationFlags.none(),
+            OptimizationFlags(hdc=True, bwc=False, mgr=False, puv=False),
+            OptimizationFlags(hdc=True, bwc=True, mgr=False, puv=False),
+            OptimizationFlags(hdc=True, bwc=True, mgr=True, puv=False),
+            OptimizationFlags.all(),
+        ],
+        ids=lambda f: f.label(),
+    )
+    def test_every_flag_combination(self, flags, preprocessed_powerlaw):
+        res = BitColorAccelerator(small_cfg(2), flags).run(preprocessed_powerlaw)
+        assert np.array_equal(res.colors, greedy_coloring_fast(preprocessed_powerlaw))
+
+    def test_road_graph(self, small_grid):
+        g = preprocess(small_grid)
+        res = BitColorAccelerator(small_cfg(4)).run(g)
+        assert np.array_equal(res.colors, greedy_coloring_fast(g))
+
+    def test_unpreprocessed_graph_still_correct(self, medium_powerlaw):
+        """Without DBG the performance story changes but never correctness."""
+        res = BitColorAccelerator(small_cfg(4)).run(medium_powerlaw)
+        assert np.array_equal(res.colors, greedy_coloring_fast(medium_powerlaw))
+
+    def test_partial_cache(self, preprocessed_powerlaw):
+        """Cache covering only some vertices: HDV/LDV split is exercised."""
+        cfg = HWConfig(parallelism=4, cache_bytes=2 * 64)  # 64 HDVs only
+        res = BitColorAccelerator(cfg).run(preprocessed_powerlaw)
+        assert np.array_equal(res.colors, greedy_coloring_fast(preprocessed_powerlaw))
+        assert res.stats.ldv_reads > 0
+        assert res.stats.cache_reads > 0
+
+    def test_dense_conflict_storm(self):
+        """Complete graph: every concurrent pair conflicts; the DCT chain
+        must serialize them correctly."""
+        g = preprocess(complete_graph(24))
+        res = BitColorAccelerator(small_cfg(8)).run(g)
+        assert res.num_colors == 24
+        assert res.stats.conflicts > 0
+
+    def test_star(self):
+        g = preprocess(star_graph(40))
+        res = BitColorAccelerator(small_cfg(4)).run(g)
+        assert res.num_colors == 2
+
+    def test_cycle(self):
+        g = preprocess(cycle_graph(33))
+        res = BitColorAccelerator(small_cfg(4)).run(g)
+        assert_proper_coloring(g, res.colors)
+
+    def test_empty_and_tiny(self):
+        from repro.graph import CSRGraph
+
+        res = BitColorAccelerator(small_cfg(2)).run(CSRGraph.empty(5))
+        assert (res.colors == 1).all()
+        res0 = BitColorAccelerator(small_cfg(2)).run(CSRGraph.empty(0))
+        assert res0.colors.size == 0
+        assert res0.stats.makespan_cycles == 0
+
+
+class TestStats:
+    def test_no_conflicts_single_pe(self, preprocessed_powerlaw):
+        res = BitColorAccelerator(small_cfg(1)).run(preprocessed_powerlaw)
+        assert res.stats.conflicts == 0
+        assert res.stats.stall_cycles == 0
+
+    def test_makespan_equals_sum_at_p1(self, preprocessed_powerlaw):
+        """A single PE serializes everything (up to dispatch gaps)."""
+        res = BitColorAccelerator(small_cfg(1)).run(preprocessed_powerlaw)
+        assert res.stats.makespan_cycles >= res.stats.total_task_cycles
+
+    def test_parallel_beats_serial(self, preprocessed_powerlaw):
+        t1 = BitColorAccelerator(small_cfg(1)).run(preprocessed_powerlaw)
+        t8 = BitColorAccelerator(small_cfg(8)).run(preprocessed_powerlaw)
+        assert t8.stats.makespan_cycles < t1.stats.makespan_cycles
+
+    def test_speedup_at_most_parallelism_plus_forwarding(self, preprocessed_powerlaw):
+        """Speedup can slightly exceed P only through conflict forwarding
+        (deferred neighbours skip their memory reads)."""
+        t1 = BitColorAccelerator(small_cfg(1)).run(preprocessed_powerlaw)
+        t4 = BitColorAccelerator(small_cfg(4)).run(preprocessed_powerlaw)
+        speedup = t1.stats.makespan_cycles / t4.stats.makespan_cycles
+        assert speedup <= 4 * 1.5
+
+    def test_task_counts(self, preprocessed_powerlaw):
+        res = BitColorAccelerator(small_cfg(4)).run(preprocessed_powerlaw)
+        n = preprocessed_powerlaw.num_vertices
+        assert res.stats.hdv_tasks + res.stats.ldv_tasks == n
+
+    def test_hdc_eliminates_ldv_reads_when_everything_fits(self, preprocessed_powerlaw):
+        res = BitColorAccelerator(small_cfg(4)).run(preprocessed_powerlaw)
+        assert res.stats.ldv_reads == 0  # whole graph cached
+
+    def test_bsl_reads_everything_from_dram(self, preprocessed_powerlaw):
+        res = BitColorAccelerator(
+            small_cfg(1), OptimizationFlags.none()
+        ).run(preprocessed_powerlaw)
+        assert res.stats.cache_reads == 0
+        assert res.stats.ldv_reads == preprocessed_powerlaw.num_edges
+
+    def test_puv_prunes_half_the_slots(self, preprocessed_powerlaw):
+        res = BitColorAccelerator(small_cfg(1)).run(preprocessed_powerlaw)
+        assert res.stats.pruned_edges == preprocessed_powerlaw.num_undirected_edges
+
+    def test_mgr_reduces_dram_reads(self, small_grid):
+        g = preprocess(small_grid)
+        cfg = HWConfig(parallelism=1, cache_bytes=2)  # ~nothing cached
+        no_mgr = BitColorAccelerator(
+            cfg, OptimizationFlags(hdc=True, bwc=True, mgr=False, puv=True)
+        ).run(g)
+        with_mgr = BitColorAccelerator(cfg, OptimizationFlags.all()).run(g)
+        assert with_mgr.stats.merged_reads > 0
+        assert with_mgr.stats.dram_reads < no_mgr.stats.dram_reads
+
+    def test_throughput_and_time(self, preprocessed_powerlaw):
+        res = BitColorAccelerator(small_cfg(4)).run(preprocessed_powerlaw)
+        assert res.time_seconds > 0
+        expected = preprocessed_powerlaw.num_vertices / res.time_seconds / 1e6
+        assert res.throughput_mcvs == pytest.approx(expected)
+
+
+class TestDRAMContention:
+    def test_fewer_channels_slower(self, small_grid):
+        """Memory-bound graphs slow down when physical channels shrink."""
+        g = preprocess(small_grid)
+        from dataclasses import replace
+
+        base = HWConfig(parallelism=8, cache_bytes=2)
+        wide = BitColorAccelerator(replace(base, dram_physical_channels=8)).run(g)
+        narrow = BitColorAccelerator(replace(base, dram_physical_channels=1)).run(g)
+        assert narrow.stats.makespan_cycles > wide.stats.makespan_cycles
+        assert narrow.stats.dram_queue_cycles > wide.stats.dram_queue_cycles
+
+    def test_queue_empty_at_p1(self, preprocessed_powerlaw):
+        res = BitColorAccelerator(small_cfg(1)).run(preprocessed_powerlaw)
+        assert res.stats.dram_queue_cycles == 0
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, preprocessed_powerlaw):
+        a = BitColorAccelerator(small_cfg(4)).run(preprocessed_powerlaw)
+        b = BitColorAccelerator(small_cfg(4)).run(preprocessed_powerlaw)
+        assert np.array_equal(a.colors, b.colors)
+        assert a.stats.makespan_cycles == b.stats.makespan_cycles

@@ -1,0 +1,228 @@
+"""Tests for the bit-wise processing engine."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    BWPE,
+    ColorLoader,
+    ColorMemory,
+    DataConflictTable,
+    DRAMChannel,
+    HDVColorCache,
+    HWConfig,
+    OptimizationFlags,
+)
+
+
+def make_engine(
+    *,
+    n=200,
+    v_t=100,
+    flags=None,
+    parallelism=2,
+    pe_id=0,
+    cache_colors=None,
+    mem_colors=None,
+    max_colors=1024,
+):
+    cfg = HWConfig(parallelism=parallelism, cache_bytes=4096, max_colors=max_colors)
+    flags = flags or OptimizationFlags.all()
+    ch = DRAMChannel(cfg)
+    mem = ColorMemory(n, cfg)
+    cache = HDVColorCache(cfg, v_t) if flags.hdc else None
+    loader = ColorLoader(cfg, ch, mem, enable_merge=flags.mgr)
+    dct = DataConflictTable(pe_id, parallelism)
+    pe = BWPE(pe_id, cfg, flags, cache=cache, loader=loader, channel=ch, dct=dct)
+    for v, c in (cache_colors or {}).items():
+        cache.write(v, c)
+    for v, c in (mem_colors or {}).items():
+        mem.write(v, c)
+    return pe, cfg
+
+
+def run_vertex(pe, v_src, neighbors, v_t=100, seq=None):
+    task = pe.traverse(
+        v_src, np.asarray(neighbors, dtype=np.int64), seq if seq is not None else v_src, v_t
+    )
+    return pe.finalize()
+
+
+class TestFunctional:
+    def test_first_free_from_cache(self):
+        pe, _ = make_engine(cache_colors={1: 1, 2: 2, 3: 1})
+        task = run_vertex(pe, 50, [1, 2, 3])
+        assert task.color == 3
+        assert task.color_bits == 0b100
+
+    def test_no_colored_neighbors(self):
+        pe, _ = make_engine()
+        task = run_vertex(pe, 50, [1, 2])
+        assert task.color == 1
+
+    def test_isolated_vertex(self):
+        pe, _ = make_engine()
+        task = run_vertex(pe, 50, [])
+        assert task.color == 1
+        assert task.neighbors_total == 0
+
+    def test_mixed_cache_and_dram(self):
+        pe, _ = make_engine(cache_colors={10: 1}, mem_colors={150: 2})
+        task = run_vertex(pe, 160, [10, 150])
+        assert task.color == 3
+        assert task.cache_reads == 1
+        assert task.ldv_reads == 1
+
+    def test_same_result_any_flag_combination(self):
+        """Optimizations never change the color, only the work."""
+        neighbor_colors = {1: 2, 2: 1, 3: 4}
+        expected = 3
+        for hdc in (False, True):
+            for bwc in (False, True):
+                for mgr in (False, True):
+                    flags = OptimizationFlags(hdc=hdc, bwc=bwc, mgr=mgr, puv=False)
+                    pe, _ = make_engine(
+                        flags=flags,
+                        cache_colors=neighbor_colors if hdc else None,
+                        mem_colors=neighbor_colors,
+                    )
+                    task = run_vertex(pe, 50, [1, 2, 3])
+                    assert task.color == expected, flags.label()
+
+
+class TestPruning:
+    def test_prune_skips_uncolored(self):
+        pe, _ = make_engine(cache_colors={1: 1})
+        task = run_vertex(pe, 50, [1, 60, 70])
+        assert task.pruned == 2
+        assert task.neighbors_processed == 1
+
+    def test_sorted_break_saves_edge_blocks(self):
+        """With ascending neighbours, the first pruned vertex prunes the
+        rest without streaming their edge blocks."""
+        pe, cfg = make_engine()
+        nbrs = [1] + list(range(60, 60 + 64))  # 65 edges: 5 blocks of 16
+        task = run_vertex(pe, 50, nbrs)
+        assert task.pruned == 64
+        assert task.edge_blocks_fetched == 1
+        assert task.edge_blocks_saved > 0
+
+    def test_unsorted_no_break(self):
+        pe, _ = make_engine()
+        task = run_vertex(pe, 50, [60, 1, 70, 2])
+        # All four consumed; two pruned individually.
+        assert task.pruned == 2
+        assert task.edge_blocks_saved == 0
+
+    def test_puv_off_processes_uncolored(self):
+        pe, _ = make_engine(flags=OptimizationFlags(puv=False))
+        task = run_vertex(pe, 50, [60, 70])
+        assert task.pruned == 0
+        assert task.neighbors_processed == 2
+
+
+class TestConflicts:
+    def test_deferred_peer_recorded(self):
+        pe, _ = make_engine()
+        pe.dct.set_peer_task(1, 30, seq=10)
+        task = pe.traverse(40, np.array([30]), seq=20, v_t=100)
+        assert task.deferred_peers == [1]
+        # Not fetched from memory.
+        assert task.cache_reads == 0 and task.ldv_reads == 0
+
+    def test_finalize_without_delivery_raises(self):
+        from repro.hw import ConflictProtocolError
+
+        pe, _ = make_engine()
+        pe.dct.set_peer_task(1, 30, seq=10)
+        pe.traverse(40, np.array([30]), seq=20, v_t=100)
+        with pytest.raises(ConflictProtocolError):
+            pe.finalize()
+
+    def test_conflict_bits_fold_into_color(self):
+        pe, _ = make_engine(cache_colors={5: 1})
+        pe.dct.set_peer_task(1, 30, seq=10)
+        pe.traverse(40, np.array([5, 30]), seq=20, v_t=100)
+        pe.dct.deliver_result(1, 0b10)  # peer took color 2
+        task = pe.finalize()
+        assert task.color == 3
+
+    def test_later_peer_not_deferred(self):
+        pe, _ = make_engine()
+        pe.dct.set_peer_task(1, 30, seq=99)
+        task = pe.traverse(40, np.array([30]), seq=20, v_t=100)
+        assert task.deferred_peers == []
+        fin = pe.finalize()
+        assert fin.color == 1  # treated as uncolored
+
+
+class TestCycleAccounting:
+    def test_bwc_stage1_constant(self):
+        """BWC: one AND-NOT cycle + the 3-cycle compressor, independent of
+        how many colors are in play."""
+        cost = {}
+        for k in (2, 20):
+            pe, cfg = make_engine(cache_colors={i: i for i in range(1, k + 1)})
+            t0 = pe.traverse(50, np.arange(1, k + 1), seq=50, v_t=100)
+            trav = t0.compute_cycles
+            task = pe.finalize()
+            cost[k] = task.compute_cycles - trav
+        assert cost[2] == cost[20] == 1 + 3
+
+    def test_bsl_stage1_scales_with_colors(self):
+        flags = OptimizationFlags(hdc=True, bwc=False, mgr=False, puv=False)
+        cost = {}
+        for k in (2, 20):
+            pe, _ = make_engine(flags=flags, cache_colors={i: i for i in range(1, k + 1)})
+            t0 = pe.traverse(50, np.arange(1, k + 1), seq=50, v_t=100)
+            trav = t0.compute_cycles
+            task = pe.finalize()
+            cost[k] = task.compute_cycles - trav
+        assert cost[20] > cost[2]
+
+    def test_cache_read_costs_one_cycle(self):
+        pe, cfg = make_engine(cache_colors={1: 1})
+        task = run_vertex(pe, 50, [1])
+        assert task.dram_cycles == pytest.approx(
+            task.edge_blocks_fetched * cfg.dram_stream_cycles
+        )
+
+    def test_ldv_read_adds_dram_cycles(self):
+        pe, cfg = make_engine(mem_colors={150: 1})
+        task = run_vertex(pe, 160, [150])
+        assert task.dram_cycles > task.edge_blocks_fetched * cfg.dram_stream_cycles
+
+    def test_setup_cost_charged(self):
+        pe, cfg = make_engine()
+        task = run_vertex(pe, 50, [])
+        assert task.compute_cycles >= cfg.task_setup_cycles
+
+
+class TestProtocol:
+    def test_traverse_while_busy_raises(self):
+        pe, _ = make_engine()
+        pe.traverse(50, np.array([1]), seq=50, v_t=100)
+        with pytest.raises(RuntimeError, match="in flight"):
+            pe.traverse(51, np.array([1]), seq=51, v_t=100)
+
+    def test_finalize_without_task_raises(self):
+        pe, _ = make_engine()
+        with pytest.raises(RuntimeError, match="no task"):
+            pe.finalize()
+
+    def test_busy_flag(self):
+        pe, _ = make_engine()
+        assert not pe.busy
+        pe.traverse(50, np.array([]), seq=50, v_t=100)
+        assert pe.busy
+        pe.finalize()
+        assert not pe.busy
+
+    def test_color_overflow_raises(self):
+        """Neighbours occupy all 16 colors; the 17th exceeds max_colors."""
+        pe, _ = make_engine(
+            max_colors=16, cache_colors={i: i for i in range(1, 17)}
+        )
+        pe.traverse(50, np.arange(1, 17), seq=50, v_t=100)
+        with pytest.raises(ValueError, match="color"):
+            pe.finalize()

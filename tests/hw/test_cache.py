@@ -1,0 +1,66 @@
+"""Tests for the HDV color cache."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HDVColorCache, HWConfig
+
+
+@pytest.fixture
+def cfg():
+    return HWConfig(parallelism=1, cache_bytes=1024)  # 512 vertices
+
+
+class TestHDVCache:
+    def test_covers(self, cfg):
+        c = HDVColorCache(cfg, v_t=100)
+        assert c.covers(0)
+        assert c.covers(99)
+        assert not c.covers(100)
+        assert not c.covers(-1)
+
+    def test_read_write(self, cfg):
+        c = HDVColorCache(cfg, v_t=100)
+        c.write(5, 7)
+        assert c.read(5) == 7
+        assert c.read(6) == 0
+        assert c.stats.reads == 2
+        assert c.stats.writes == 1
+
+    def test_ldv_access_rejected(self, cfg):
+        """Reading an LDV through the cache is a pipeline bug, not a miss."""
+        c = HDVColorCache(cfg, v_t=100)
+        with pytest.raises(IndexError, match="LDV"):
+            c.read(100)
+        with pytest.raises(IndexError):
+            c.write(200, 1)
+
+    def test_capacity_enforced(self, cfg):
+        with pytest.raises(ValueError, match="capacity"):
+            HDVColorCache(cfg, v_t=513)
+        HDVColorCache(cfg, v_t=512)  # exactly at capacity is fine
+
+    def test_color_range_enforced(self, cfg):
+        c = HDVColorCache(cfg, v_t=10)
+        with pytest.raises(ValueError):
+            c.write(0, cfg.max_colors + 1)
+
+    def test_read_many(self, cfg):
+        c = HDVColorCache(cfg, v_t=50)
+        c.write(1, 3)
+        out = c.read_many(np.array([1, 2]))
+        assert out.tolist() == [3, 0]
+        assert c.stats.reads == 2
+
+    def test_read_many_range_checked(self, cfg):
+        c = HDVColorCache(cfg, v_t=50)
+        with pytest.raises(IndexError):
+            c.read_many(np.array([49, 50]))
+
+    def test_snapshot(self, cfg):
+        c = HDVColorCache(cfg, v_t=4)
+        c.write(2, 9)
+        snap = c.snapshot()
+        assert snap.tolist() == [0, 0, 9, 0]
+        c.write(2, 1)
+        assert snap[2] == 9  # copy, not view

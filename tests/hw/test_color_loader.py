@@ -1,0 +1,99 @@
+"""Tests for the Color Loader and DRAM read merging (Section 4.5)."""
+
+import pytest
+
+from repro.hw import ColorLoader, ColorMemory, DRAMChannel, HWConfig
+
+
+@pytest.fixture
+def cfg():
+    return HWConfig(parallelism=1)
+
+
+def make_loader(cfg, n=200, merge=True):
+    ch = DRAMChannel(cfg)
+    mem = ColorMemory(n, cfg)
+    return ColorLoader(cfg, ch, mem, enable_merge=merge), ch, mem
+
+
+class TestMerging:
+    def test_same_block_merges(self, cfg):
+        loader, ch, mem = make_loader(cfg)
+        mem.write(70, 5)
+        mem.write(76, 9)
+        c1, cy1 = loader.load(70)  # block 2 (70 // 32)
+        c2, cy2 = loader.load(76)  # same block -> merged
+        assert (c1, c2) == (5, 9)
+        assert cy1 > cy2 == 1
+        assert loader.stats.merged == 1
+        assert loader.stats.dram_reads == 1
+
+    def test_paper_example_indices(self, cfg):
+        """Figure 9's spirit: ascending indices 30, 70, 76 — the third
+        access shares block 2 (70//32 == 76//32) and saves a DRAM read."""
+        loader, ch, mem = make_loader(cfg)
+        for v in (30, 70, 76):
+            loader.load(v)
+        assert loader.stats.requests == 3
+        assert loader.stats.dram_reads == 2
+        assert loader.stats.merged == 1
+
+    def test_merge_persists_across_tasks(self, cfg):
+        """The last-request buffer survives reset_stream (a new vertex)."""
+        loader, ch, mem = make_loader(cfg)
+        loader.load(70)
+        loader.reset_stream()
+        _, cy = loader.load(71)
+        assert cy == 1
+
+    def test_block_change_breaks_merge(self, cfg):
+        loader, ch, mem = make_loader(cfg)
+        loader.load(70)
+        loader.load(150)
+        _, cy = loader.load(70)
+        assert cy > 1
+
+    def test_merge_disabled(self, cfg):
+        loader, ch, mem = make_loader(cfg, merge=False)
+        loader.load(70)
+        _, cy = loader.load(71)
+        assert cy > 1
+        assert loader.stats.merged == 0
+        assert loader.stats.dram_reads == 2
+
+
+class TestInvalidation:
+    def test_stale_block_dropped_on_write(self, cfg):
+        loader, ch, mem = make_loader(cfg)
+        mem.write(70, 5)
+        loader.load(70)
+        mem.write(71, 8)       # writer updates a color in the merged block
+        loader.invalidate(71)
+        color, cy = loader.load(71)
+        assert color == 8
+        assert cy > 1  # re-fetched, not served stale
+
+    def test_other_block_write_keeps_merge(self, cfg):
+        loader, ch, mem = make_loader(cfg)
+        loader.load(70)
+        loader.invalidate(200)  # different block
+        _, cy = loader.load(71)
+        assert cy == 1
+
+
+class TestStats:
+    def test_request_accounting(self, cfg):
+        loader, ch, mem = make_loader(cfg)
+        for v in (0, 1, 2, 40, 41):
+            loader.load(v)
+        s = loader.stats
+        assert s.requests == 5
+        assert s.dram_reads + s.merged == 5
+
+    def test_stats_merge(self, cfg):
+        from repro.hw.color_loader import LoaderStats
+
+        a = LoaderStats(requests=1, dram_reads=2, merged=3)
+        b = LoaderStats(requests=10, dram_reads=20, merged=30)
+        m = a.merge(b)
+        assert (m.requests, m.dram_reads, m.merged) == (11, 22, 33)

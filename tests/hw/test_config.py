@@ -1,0 +1,60 @@
+"""Tests for the hardware configuration."""
+
+import pytest
+
+from repro.hw import DEFAULT_CONFIG, HWConfig, OptimizationFlags
+
+
+class TestHWConfig:
+    def test_paper_defaults(self):
+        """Section 5.1.1: 1 MB cache = 512 K colors, 1024 colors, 512-bit
+        blocks holding 32 colors / 16 edges."""
+        c = DEFAULT_CONFIG
+        assert c.cache_capacity_vertices == 512 * 1024
+        assert c.colors_per_block == 32
+        assert c.edges_per_block == 16
+        assert c.max_colors == 1024
+        assert c.parallelism == 16
+
+    def test_v_t_small_graph(self):
+        assert DEFAULT_CONFIG.v_t(1000) == 1000
+
+    def test_v_t_large_graph(self):
+        assert DEFAULT_CONFIG.v_t(10**7) == 512 * 1024
+
+    def test_with_parallelism(self):
+        c = DEFAULT_CONFIG.with_parallelism(4)
+        assert c.parallelism == 4
+        assert DEFAULT_CONFIG.parallelism == 16  # original untouched
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            HWConfig(parallelism=0)
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_parallelism(-1)
+
+    def test_color_width_must_divide_block(self):
+        with pytest.raises(ValueError):
+            HWConfig(color_bits=24)
+
+    def test_invalid_max_colors(self):
+        with pytest.raises(ValueError):
+            HWConfig(max_colors=0)
+
+
+class TestOptimizationFlags:
+    def test_none(self):
+        f = OptimizationFlags.none()
+        assert not (f.hdc or f.bwc or f.mgr or f.puv)
+        assert f.label() == "BSL"
+
+    def test_all(self):
+        f = OptimizationFlags.all()
+        assert f.hdc and f.bwc and f.mgr and f.puv
+        assert f.label() == "HDC+BWC+MGR+PUV"
+
+    def test_partial_label(self):
+        assert OptimizationFlags(hdc=True, bwc=False, mgr=False, puv=True).label() == "HDC+PUV"
+
+    def test_hashable(self):
+        assert len({OptimizationFlags.none(), OptimizationFlags.all()}) == 2

@@ -1,0 +1,107 @@
+"""Tests for the Data Conflict Table protocol (Section 4.3)."""
+
+import pytest
+
+from repro.hw import ConflictProtocolError, DataConflictTable
+
+
+@pytest.fixture
+def dct():
+    return DataConflictTable(pe_id=1, num_pes=4)
+
+
+class TestSetup:
+    def test_entries_exclude_self(self, dct):
+        assert set(dct.entries.keys()) == {0, 2, 3}
+
+    def test_invalid_pe(self):
+        with pytest.raises(ValueError):
+            DataConflictTable(pe_id=4, num_pes=4)
+
+    def test_untracked_peer(self, dct):
+        with pytest.raises(ConflictProtocolError):
+            dct.set_peer_task(1, 5, 0)  # own id is not a peer
+
+
+class TestDetection:
+    def test_no_conflict_when_vertex_not_running(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        assert not dct.check(11, my_seq=5)
+
+    def test_conflict_detected_and_flagged(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        assert dct.check(10, my_seq=5)
+        assert dct.entries[0].conflict_flag
+        assert dct.conflicts_detected == 1
+
+    def test_later_peer_ignored(self, dct):
+        """A peer whose task was dispatched after ours is not deferred on —
+        it will defer on us instead."""
+        dct.set_peer_task(0, 10, seq=9)
+        assert not dct.check(10, my_seq=5)
+
+    def test_repeat_check_counts_once(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        dct.check(10, my_seq=5)
+        dct.check(10, my_seq=5)
+        assert dct.conflicts_detected == 1
+
+
+class TestGather:
+    def test_gather_after_delivery(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        dct.set_peer_task(2, 11, seq=1)
+        dct.check(10, my_seq=5)
+        dct.check(11, my_seq=5)
+        dct.deliver_result(0, 0b001)
+        dct.deliver_result(2, 0b100)
+        assert dct.all_flagged_valid()
+        assert dct.gather_conflict_bits() == 0b101
+
+    def test_gather_before_valid_raises(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        dct.check(10, my_seq=5)
+        assert not dct.all_flagged_valid()
+        with pytest.raises(ConflictProtocolError, match="before"):
+            dct.gather_conflict_bits()
+
+    def test_gather_ignores_unflagged(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        dct.deliver_result(0, 0b111)
+        assert dct.gather_conflict_bits() == 0  # never flagged
+
+    def test_empty_gather(self, dct):
+        assert dct.gather_conflict_bits() == 0
+
+
+class TestLifecycle:
+    def test_deliver_without_task_raises(self, dct):
+        with pytest.raises(ConflictProtocolError, match="no task"):
+            dct.deliver_result(0, 0b1)
+
+    def test_clear_peer_task(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        dct.clear_peer_task(0)
+        assert not dct.check(10, my_seq=5)
+
+    def test_reset_flags(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        dct.check(10, my_seq=5)
+        dct.reset_flags()
+        assert dct.flagged() == []
+        # Entry itself survives; re-check re-flags.
+        assert dct.check(10, my_seq=5)
+
+    def test_new_task_resets_entry(self, dct):
+        dct.set_peer_task(0, 10, seq=0)
+        dct.check(10, my_seq=5)
+        dct.deliver_result(0, 0b1)
+        dct.set_peer_task(0, 20, seq=7)
+        e = dct.entries[0]
+        assert e.vertex == 20 and not e.valid and e.color_bits == 0
+        assert not e.conflict_flag
+
+    def test_single_pe_has_empty_table(self):
+        d = DataConflictTable(0, 1)
+        assert d.entries == {}
+        assert not d.check(5, my_seq=1)

@@ -1,0 +1,99 @@
+"""Cross-validation: cycle-stepped BWPE vs the task-level model."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import greedy_coloring_fast
+from repro.graph import degree_based_grouping, rmat, road_grid, sort_edges
+from repro.hw import BitColorAccelerator, HWConfig, OptimizationFlags
+from repro.hw.cycle_sim import CycleAccurateBWPE, CyclePhase
+
+
+def preprocess(g):
+    return sort_edges(degree_based_grouping(g).graph)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        "powerlaw": preprocess(rmat(8, 5, seed=51)),
+        "road": preprocess(road_grid(16, 16, seed=52)),
+    }
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("name", ["powerlaw", "road"])
+    def test_matches_sequential_greedy(self, graphs, name):
+        g = graphs[name]
+        colors, _ = CycleAccurateBWPE(HWConfig(parallelism=1)).run(g)
+        assert np.array_equal(colors, greedy_coloring_fast(g))
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            OptimizationFlags.none(),
+            OptimizationFlags(hdc=True, bwc=True, mgr=False, puv=False),
+            OptimizationFlags.all(),
+        ],
+        ids=lambda f: f.label(),
+    )
+    def test_flags_never_change_colors(self, graphs, flags):
+        g = graphs["powerlaw"]
+        colors, _ = CycleAccurateBWPE(HWConfig(parallelism=1), flags).run(g)
+        assert np.array_equal(colors, greedy_coloring_fast(g))
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("name", ["powerlaw", "road"])
+    @pytest.mark.parametrize(
+        "flags",
+        [OptimizationFlags.none(), OptimizationFlags.all()],
+        ids=lambda f: f.label(),
+    )
+    def test_cycle_counts_agree_with_task_model(self, graphs, name, flags):
+        """The task-granular model and the cycle-stepped model must agree
+        on total cycles within a band — they share constants but count
+        completely independently."""
+        g = graphs[name]
+        cfg = HWConfig(parallelism=1, cache_bytes=2 * g.num_vertices)
+        task_model = BitColorAccelerator(cfg, flags).run(g)
+        _, cyc = CycleAccurateBWPE(cfg, flags).run(g)
+        ratio = cyc.cycles / max(task_model.stats.makespan_cycles, 1)
+        assert 0.6 < ratio < 1.7, (
+            f"{name}/{flags.label()}: cycle-sim {cyc.cycles} vs "
+            f"task model {task_model.stats.makespan_cycles}"
+        )
+
+
+class TestPhaseHistogram:
+    def test_phases_partition_cycles(self, graphs):
+        _, stats = CycleAccurateBWPE(HWConfig(parallelism=1)).run(graphs["powerlaw"])
+        assert sum(stats.by_phase.values()) == stats.cycles
+
+    def test_bsl_is_dram_bound(self, graphs):
+        """Without any optimization, DRAM wait dominates — the Fig 11
+        premise at cycle granularity."""
+        _, stats = CycleAccurateBWPE(
+            HWConfig(parallelism=1), OptimizationFlags.none()
+        ).run(graphs["powerlaw"])
+        assert stats.fraction(CyclePhase.DRAM_WAIT) > 0.4
+
+    def test_optimized_is_not_dram_bound(self, graphs):
+        """Fully optimized on a cache-resident graph: DRAM waits vanish."""
+        g = graphs["powerlaw"]
+        cfg = HWConfig(parallelism=1, cache_bytes=2 * g.num_vertices)
+        _, stats = CycleAccurateBWPE(cfg).run(g)
+        assert stats.fraction(CyclePhase.DRAM_WAIT) < 0.05
+        assert stats.fraction(CyclePhase.PROCESS) > 0.2
+
+    def test_bwc_shrinks_finalize(self, graphs):
+        g = graphs["powerlaw"]
+        cfg = HWConfig(parallelism=1, cache_bytes=2 * g.num_vertices)
+        _, with_bwc = CycleAccurateBWPE(cfg).run(g)
+        _, no_bwc = CycleAccurateBWPE(
+            cfg, OptimizationFlags(hdc=True, bwc=False, mgr=True, puv=True)
+        ).run(g)
+        assert (
+            with_bwc.by_phase.get(CyclePhase.FINALIZE, 0)
+            < no_bwc.by_phase.get(CyclePhase.FINALIZE, 0)
+        )

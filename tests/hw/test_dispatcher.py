@@ -1,0 +1,86 @@
+"""Tests for the Task Dispatch Unit (Section 4.6)."""
+
+import pytest
+
+from repro.hw import HWConfig, PEStateTable, TaskDispatchUnit
+
+
+def make_dispatcher(n=20, v_t=8, p=4):
+    return TaskDispatchUnit(HWConfig(parallelism=p), n, v_t)
+
+
+class TestDispatchOrder:
+    def test_ascending_invariant(self):
+        d = make_dispatcher()
+        order = []
+        while True:
+            nxt = d.next_task()
+            if nxt is None:
+                break
+            order.append(nxt[0])
+        assert order == list(range(20))
+
+    def test_hdv_port_binding(self):
+        """HDVs (v < v_t) go to PE v % P — the multi-port cache pattern."""
+        d = make_dispatcher(n=20, v_t=8, p=4)
+        for _ in range(8):
+            v, pe = d.next_task()
+            assert v < 8
+            assert pe == v % 4
+
+    def test_ldv_unbound(self):
+        d = make_dispatcher(n=20, v_t=8, p=4)
+        for _ in range(8):
+            d.next_task()
+        for _ in range(12):
+            v, pe = d.next_task()
+            assert v >= 8
+            assert pe == -1  # event loop picks the first idle PE
+
+    def test_exhaustion(self):
+        d = make_dispatcher(n=3, v_t=0, p=2)
+        for _ in range(3):
+            assert d.next_task() is not None
+        assert d.next_task() is None
+        assert d.exhausted
+
+    def test_peek(self):
+        d = make_dispatcher(n=5, v_t=5, p=2)
+        assert d.peek_next_vertex() == 0
+        d.next_task()
+        assert d.peek_next_vertex() == 1
+
+    def test_all_hdv(self):
+        d = make_dispatcher(n=6, v_t=6, p=2)
+        seen = [d.next_task() for _ in range(6)]
+        assert [v for v, _ in seen] == list(range(6))
+        assert all(pe == v % 2 for v, pe in seen)
+
+    def test_stats(self):
+        d = make_dispatcher(n=20, v_t=8, p=4)
+        while d.next_task() is not None:
+            pass
+        assert d.stats.hdv_tasks == 8
+        assert d.stats.ldv_tasks == 12
+        assert d.stats.offset_fetches == 20
+
+
+class TestPEStateTable:
+    def test_start_complete_cycle(self):
+        pst = PEStateTable(3)
+        pst.start(1, vertex=7, seq=7)
+        assert pst.running_tasks() == [(1, 7, 7)]
+        assert pst.idle_pes() == [0, 2]
+        pst.complete(1)
+        assert pst.running_tasks() == []
+
+    def test_double_start_rejected(self):
+        pst = PEStateTable(2)
+        pst.start(0, 1, 1)
+        with pytest.raises(RuntimeError, match="already running"):
+            pst.start(0, 2, 2)
+
+    def test_complete_idle_rejected(self):
+        pst = PEStateTable(2)
+        with pytest.raises(RuntimeError, match="not running"):
+            pst.complete(0)

@@ -1,0 +1,107 @@
+"""Tests for the DRAM channel and color memory models."""
+
+import numpy as np
+import pytest
+
+from repro.hw import ColorMemory, DRAMChannel, DRAMStats, HWConfig
+
+
+@pytest.fixture
+def cfg():
+    return HWConfig(parallelism=1)
+
+
+class TestDRAMChannel:
+    def test_random_read_cost(self, cfg):
+        ch = DRAMChannel(cfg)
+        assert ch.read_block(10) == cfg.dram_read_occupancy_cycles
+        assert ch.stats.random_reads == 1
+
+    def test_stream_read_cost(self, cfg):
+        ch = DRAMChannel(cfg)
+        ch.read_block(5)
+        assert ch.read_block(6) == cfg.dram_stream_cycles
+        assert ch.read_block(7) == cfg.dram_stream_cycles
+        assert ch.stats.stream_reads == 2
+
+    def test_stream_broken_by_jump(self, cfg):
+        ch = DRAMChannel(cfg)
+        ch.read_block(5)
+        ch.read_block(6)
+        assert ch.read_block(100) == cfg.dram_read_occupancy_cycles
+
+    def test_same_block_is_random(self, cfg):
+        """Re-reading the same block is not a stream continuation; merge
+        avoidance is the Color Loader's job."""
+        ch = DRAMChannel(cfg)
+        ch.read_block(5)
+        assert ch.read_block(5) == cfg.dram_read_occupancy_cycles
+
+    def test_end_stream(self, cfg):
+        ch = DRAMChannel(cfg)
+        ch.read_block(5)
+        ch.end_stream()
+        assert ch.read_block(6) == cfg.dram_read_occupancy_cycles
+
+    def test_write_breaks_stream(self, cfg):
+        ch = DRAMChannel(cfg)
+        ch.read_block(5)
+        assert ch.write_block(9) == cfg.dram_write_cycles
+        assert ch.read_block(6) == cfg.dram_read_occupancy_cycles
+        assert ch.stats.writes == 1
+
+    def test_negative_block(self, cfg):
+        ch = DRAMChannel(cfg)
+        with pytest.raises(ValueError):
+            ch.read_block(-1)
+        with pytest.raises(ValueError):
+            ch.write_block(-1)
+
+    def test_stats_merge(self):
+        a = DRAMStats(random_reads=1, stream_reads=2, writes=3, read_cycles=4, write_cycles=5)
+        b = DRAMStats(random_reads=10, stream_reads=20, writes=30, read_cycles=40, write_cycles=50)
+        m = a.merge(b)
+        assert (m.random_reads, m.stream_reads, m.writes) == (11, 22, 33)
+        assert m.total_reads == 33
+
+    def test_reset(self, cfg):
+        ch = DRAMChannel(cfg)
+        ch.read_block(1)
+        ch.reset()
+        assert ch.stats.total_reads == 0
+        assert ch.read_block(2) == cfg.dram_read_occupancy_cycles
+
+
+class TestColorMemory:
+    def test_read_write(self, cfg):
+        m = ColorMemory(100, cfg)
+        m.write(7, 42)
+        assert m.read(7) == 42
+        assert m.read(8) == 0
+
+    def test_color_width_enforced(self, cfg):
+        m = ColorMemory(10, cfg)
+        with pytest.raises(ValueError):
+            m.write(0, cfg.max_colors + 1)
+        with pytest.raises(ValueError):
+            m.write(0, -1)
+
+    def test_block_decode(self, cfg):
+        m = ColorMemory(100, cfg)
+        # 32 colors per 512-bit block with 16-bit colors.
+        assert m.block_of(0) == 0
+        assert m.block_of(31) == 0
+        assert m.block_of(32) == 1
+        assert m.offset_of(33) == 1
+
+    def test_read_many(self, cfg):
+        m = ColorMemory(10, cfg)
+        m.write(2, 5)
+        out = m.read_many(np.array([2, 3]))
+        assert out.tolist() == [5, 0]
+
+    def test_snapshot_is_copy(self, cfg):
+        m = ColorMemory(4, cfg)
+        snap = m.snapshot()
+        m.write(0, 9)
+        assert snap[0] == 0

@@ -1,0 +1,110 @@
+"""Whole-system integration scenarios with cross-checked accounting.
+
+Each scenario runs the full accelerator under a stressed configuration
+and checks that every independently-counted statistic is mutually
+consistent — the kind of invariant that catches double-counting or
+dropped events in the event loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coloring import greedy_coloring_fast
+from repro.graph import degree_based_grouping, rmat, road_grid, sort_edges
+from repro.hw import (
+    BitColorAccelerator,
+    HWConfig,
+    OptimizationFlags,
+    pe_utilization,
+)
+
+
+def preprocess(g):
+    return sort_edges(degree_based_grouping(g).graph)
+
+
+@pytest.fixture(scope="module")
+def ldv_heavy_run():
+    """Big-ish power-law graph, tiny cache, wide machine, traced."""
+    g = preprocess(rmat(10, 7, seed=61))
+    cfg = HWConfig(parallelism=8, cache_bytes=2 * (g.num_vertices // 20))
+    res = BitColorAccelerator(cfg).run(g, trace=True)
+    return g, cfg, res
+
+
+class TestLDVHeavyScenario:
+    def test_correct(self, ldv_heavy_run):
+        g, _, res = ldv_heavy_run
+        assert np.array_equal(res.colors, greedy_coloring_fast(g))
+
+    def test_edge_slot_conservation(self, ldv_heavy_run):
+        g, _, res = ldv_heavy_run
+        s = res.stats
+        assert (
+            s.cache_reads + s.ldv_reads + s.pruned_edges + s.conflicts
+            == g.num_edges
+        )
+
+    def test_write_routing_matches_task_split(self, ldv_heavy_run):
+        g, cfg, res = ldv_heavy_run
+        s = res.stats
+        v_t = cfg.v_t(g.num_vertices)
+        assert s.cache_writes == v_t
+        assert s.dram_writes == g.num_vertices - v_t
+        assert s.hdv_tasks == v_t
+        assert s.ldv_tasks == g.num_vertices - v_t
+
+    def test_merged_subset_of_ldv(self, ldv_heavy_run):
+        _, _, res = ldv_heavy_run
+        assert 0 < res.stats.merged_reads < res.stats.ldv_reads
+
+    def test_trace_consistent_with_stats(self, ldv_heavy_run):
+        _, _, res = ldv_heavy_run
+        t = res.trace
+        assert t.makespan == res.stats.makespan_cycles
+        assert sum(x.stall for x in t.tasks) == res.stats.stall_cycles
+        assert sum(x.queue_delay for x in t.tasks) == res.stats.dram_queue_cycles
+        assert sum(len(x.deferred_on) for x in t.tasks) == res.stats.conflicts
+
+    def test_busy_cycles_bounded_by_makespan(self, ldv_heavy_run):
+        _, cfg, res = ldv_heavy_run
+        util = pe_utilization(res.trace)
+        assert all(0 < u <= 1.0 for u in util.values())
+
+    def test_makespan_within_work_bounds(self, ldv_heavy_run):
+        """Makespan sits between perfect scaling and serial execution."""
+        _, cfg, res = ldv_heavy_run
+        s = res.stats
+        assert s.makespan_cycles >= s.total_task_cycles / cfg.parallelism
+        assert s.makespan_cycles <= s.total_task_cycles + s.stall_cycles + (
+            s.dram_queue_cycles
+        ) + 3 * res.colors.size  # dispatch gaps
+
+
+class TestRoadScenario:
+    def test_mgr_dominates_on_roads(self):
+        """Road graphs: the merge buffer serves a solid share of LDV reads
+        (the Fig 11 'MGR matters on RC/RP/RT' claim)."""
+        g = preprocess(road_grid(40, 40, seed=62))
+        cfg = HWConfig(parallelism=1, cache_bytes=2 * (g.num_vertices // 4))
+        res = BitColorAccelerator(cfg).run(g)
+        assert res.stats.merged_reads / max(res.stats.ldv_reads, 1) > 0.1
+
+    def test_prune_break_saves_edge_blocks(self):
+        g = preprocess(rmat(9, 8, seed=63))
+        res = BitColorAccelerator(
+            HWConfig(parallelism=1, cache_bytes=2 * g.num_vertices)
+        ).run(g)
+        assert res.stats.edge_blocks_saved > 0
+
+
+class TestBSLParallelScenario:
+    def test_bsl_parallel_still_exact(self):
+        """Even with every optimization off and heavy DRAM contention the
+        parallel machine reproduces sequential greedy."""
+        g = preprocess(rmat(8, 6, seed=64))
+        res = BitColorAccelerator(
+            HWConfig(parallelism=8), OptimizationFlags.none()
+        ).run(g)
+        assert np.array_equal(res.colors, greedy_coloring_fast(g))
+        assert res.stats.dram_queue_cycles > 0  # contention actually bit

@@ -1,0 +1,141 @@
+"""Tests for the multi-port cache constructions (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    BRAM_BLOCK_BITS,
+    BitSelectMultiPortCache,
+    LVTMultiPortCache,
+    PortViolation,
+    bram_blocks_needed,
+    multiport_bram_comparison,
+)
+
+
+class TestBitSelect:
+    def test_write_then_read_any_port(self):
+        c = BitSelectMultiPortCache(depth=64, num_ports=8)
+        # Port i writes vertices i, i+8, i+16 ... (the scheduler's pattern).
+        for addr in range(64):
+            c.write(addr % 8, addr, addr * 10)
+        # Every port can read every address.
+        for port in range(8):
+            for addr in range(0, 64, 7):
+                assert c.read(port, addr) == addr * 10
+
+    def test_port_discipline_enforced(self):
+        c = BitSelectMultiPortCache(depth=64, num_ports=8)
+        with pytest.raises(PortViolation):
+            c.write(0, 1, 5)  # addr % 8 == 1, not port 0
+
+    def test_single_port_degenerate(self):
+        c = BitSelectMultiPortCache(depth=16, num_ports=1)
+        c.write(0, 7, 3)
+        assert c.read(0, 7) == 3
+        assert c.bram_words() == 16
+
+    def test_address_range(self):
+        c = BitSelectMultiPortCache(depth=8, num_ports=2)
+        with pytest.raises(IndexError):
+            c.read(0, 8)
+        with pytest.raises(PortViolation):
+            c.read(2, 0)
+
+    def test_paper_bram_formula(self):
+        """Physical words = P·D/2 for m = n = P (Section 4.4)."""
+        d, p = 1024, 8
+        c = BitSelectMultiPortCache(depth=d, num_ports=p)
+        assert c.bram_words() == p * d // 2
+
+    def test_read_latency(self):
+        assert BitSelectMultiPortCache(16, 4).read_latency_cycles == 1
+
+    def test_odd_port_count_rejected(self):
+        with pytest.raises(ValueError):
+            BitSelectMultiPortCache(16, 3)
+
+    def test_group_routing_matches_formula(self):
+        """Word placement follows addr//P and (addr%P)//2 exactly."""
+        c = BitSelectMultiPortCache(depth=32, num_ports=4)
+        group, word = c._locate(13)  # 13 % 4 = 1 -> group 0; word 3*2+1
+        assert group == 0
+        assert word == (13 // 4) * 2 + 1
+
+    def test_port_stats(self):
+        c = BitSelectMultiPortCache(16, 2)
+        c.write(0, 0, 1)
+        c.read(1, 0)
+        assert c.port_stats[0].writes == 1
+        assert c.port_stats[1].reads == 1
+
+
+class TestLVT:
+    def test_live_value_semantics(self):
+        """A read returns the value of the *most recent* writer, whatever
+        row it lives in — the LVT's whole job."""
+        c = LVTMultiPortCache(depth=16, num_ports=4)
+        c.write(0, 5, 100)
+        c.write(3, 5, 200)  # later write from another port wins
+        for port in range(4):
+            assert c.read(port, 5) == 200
+        c.write(1, 5, 300)
+        assert c.read(2, 5) == 300
+
+    def test_any_port_may_write_any_address(self):
+        c = LVTMultiPortCache(depth=8, num_ports=2)
+        c.write(0, 7, 1)
+        c.write(1, 0, 2)
+        assert c.read(0, 0) == 2
+
+    def test_extra_read_latency(self):
+        assert LVTMultiPortCache(8, 2).read_latency_cycles == 2
+
+    def test_bram_cost_formula(self):
+        d, p = 1024, 8
+        c = LVTMultiPortCache(depth=d, num_ports=p)
+        lvt_words = -(-d * 3 // 16)  # log2(8)=3 bits per entry, 16-bit words
+        assert c.bram_words() == p * p * d // 4 + lvt_words
+
+
+class TestComparison:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_paper_ratio(self, p):
+        """Bit selection needs 2/P of the LVT design's storage (paper's
+        claim), to within the LVT-table rounding."""
+        cmp = multiport_bram_comparison(depth=4096, num_ports=p)
+        # The LVT table itself adds a few % on top of the bank replicas,
+        # so the measured ratio sits slightly below the paper's 2/P.
+        assert cmp["ratio"] == pytest.approx(2.0 / p, rel=0.07)
+        assert cmp["ratio"] <= 2.0 / p
+        assert cmp["paper_ratio"] == 2.0 / p
+
+    def test_advantage_grows_with_parallelism(self):
+        r4 = multiport_bram_comparison(1024, 4)["ratio"]
+        r16 = multiport_bram_comparison(1024, 16)["ratio"]
+        assert r16 < r4
+
+    def test_functional_equivalence_under_discipline(self):
+        """Both caches return identical data when writes follow the
+        scheduler's residue pattern."""
+        gen = np.random.default_rng(3)
+        bs = BitSelectMultiPortCache(depth=64, num_ports=4)
+        lvt = LVTMultiPortCache(depth=64, num_ports=4)
+        for _ in range(200):
+            addr = int(gen.integers(64))
+            val = int(gen.integers(1000))
+            bs.write(addr % 4, addr, val)
+            lvt.write(addr % 4, addr, val)
+            probe = int(gen.integers(64))
+            port = int(gen.integers(4))
+            assert bs.read(port, probe) == lvt.read(port, probe)
+
+
+class TestBramHelper:
+    def test_blocks_needed(self):
+        assert bram_blocks_needed(0, 16) == 0
+        assert bram_blocks_needed(1, 16) == 1
+        # Exactly one block: 36Kb / 16b = 2304 words.
+        assert bram_blocks_needed(2304, 16) == 1
+        assert bram_blocks_needed(2305, 16) == 2
+        assert BRAM_BLOCK_BITS == 36 * 1024

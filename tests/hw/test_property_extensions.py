@@ -1,0 +1,67 @@
+"""Property tests for the MIS engine and the cycle-stepped simulator."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import greedy_coloring_fast
+from repro.graph import CSRGraph
+from repro.hw import CycleAccurateBWPE, HWConfig, OptimizationFlags
+from repro.hw.mis_engine import BitwiseMISAccelerator, greedy_mis
+
+
+@st.composite
+def graphs(draw, max_vertices=24):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=60,
+        )
+    )
+    return CSRGraph.from_edge_list(n, edges)
+
+
+@st.composite
+def flag_sets(draw):
+    return OptimizationFlags(
+        hdc=draw(st.booleans()),
+        bwc=draw(st.booleans()),
+        mgr=draw(st.booleans()),
+        puv=draw(st.booleans()),
+    )
+
+
+common = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common
+@given(graphs(), st.sampled_from([1, 2, 4]), flag_sets(), st.integers(1, 30))
+def test_mis_engine_equals_reference(g, p, flags, cache_vertices):
+    cfg = HWConfig(parallelism=p, cache_bytes=2 * cache_vertices)
+    res = BitwiseMISAccelerator(cfg, flags).run(g)
+    assert np.array_equal(res.members, greedy_mis(g))
+
+
+@common
+@given(graphs())
+def test_mis_is_independent_and_maximal(g):
+    m = greedy_mis(g)
+    for u, w in g.iter_edges():
+        assert not (m[u] and m[w])
+    for v in range(g.num_vertices):
+        if not m[v]:
+            assert m[g.neighbors(v)].any()
+
+
+@common
+@given(graphs(), flag_sets(), st.integers(1, 30))
+def test_cycle_sim_equals_greedy(g, flags, cache_vertices):
+    cfg = HWConfig(parallelism=1, cache_bytes=2 * cache_vertices)
+    colors, stats = CycleAccurateBWPE(cfg, flags).run(g)
+    assert np.array_equal(colors, greedy_coloring_fast(g))
+    assert stats.cycles == sum(stats.by_phase.values())

@@ -1,0 +1,75 @@
+"""Property-based tests of the accelerator: for arbitrary graphs, cache
+sizes, parallelism and flag settings, the parallel simulation equals
+sequential greedy and stats stay consistent."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import greedy_coloring_fast
+from repro.graph import CSRGraph
+from repro.hw import BitColorAccelerator, HWConfig, OptimizationFlags
+
+
+@st.composite
+def graphs(draw, max_vertices=30):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=80,
+        )
+    )
+    return CSRGraph.from_edge_list(n, edges)
+
+
+@st.composite
+def flag_sets(draw):
+    return OptimizationFlags(
+        hdc=draw(st.booleans()),
+        bwc=draw(st.booleans()),
+        mgr=draw(st.booleans()),
+        puv=draw(st.booleans()),
+    )
+
+
+common = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common
+@given(graphs(), st.sampled_from([1, 2, 3, 4, 8]), flag_sets(), st.integers(1, 40))
+def test_accelerator_equals_greedy(g, p, flags, cache_vertices):
+    cfg = HWConfig(parallelism=p, cache_bytes=2 * cache_vertices)
+    res = BitColorAccelerator(cfg, flags).run(g)
+    assert np.array_equal(res.colors, greedy_coloring_fast(g))
+
+
+@common
+@given(graphs(), st.sampled_from([2, 4]))
+def test_stats_consistency(g, p):
+    cfg = HWConfig(parallelism=p, cache_bytes=2 * 16)
+    res = BitColorAccelerator(cfg).run(g)
+    s = res.stats
+    assert s.hdv_tasks + s.ldv_tasks == g.num_vertices
+    # Every edge slot is pruned, deferred, cached, or read from DRAM.
+    processed = s.cache_reads + s.ldv_reads + s.pruned_edges + s.conflicts
+    assert processed == g.num_edges
+    assert s.merged_reads <= s.ldv_reads
+    assert s.makespan_cycles >= 0
+    assert s.compute_cycles > 0 or g.num_vertices == 0
+
+
+@common
+@given(graphs())
+def test_parallelism_never_changes_colors(g):
+    base = None
+    for p in (1, 4):
+        res = BitColorAccelerator(HWConfig(parallelism=p, cache_bytes=64)).run(g)
+        if base is None:
+            base = res.colors
+        else:
+            assert np.array_equal(base, res.colors)

@@ -1,0 +1,92 @@
+"""Tests for the execution tracer and its views."""
+
+import pytest
+
+from repro.graph import degree_based_grouping, rmat, sort_edges
+from repro.hw import (
+    BitColorAccelerator,
+    ExecutionTrace,
+    HWConfig,
+    TaskTrace,
+    critical_path,
+    pe_utilization,
+    render_gantt,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    g = sort_edges(degree_based_grouping(rmat(8, 6, seed=17)).graph)
+    cfg = HWConfig(parallelism=4, cache_bytes=2 * g.num_vertices)
+    return g, BitColorAccelerator(cfg).run(g, trace=True)
+
+
+class TestTraceCapture:
+    def test_disabled_by_default(self):
+        g = sort_edges(degree_based_grouping(rmat(6, 4, seed=1)).graph)
+        res = BitColorAccelerator(HWConfig(parallelism=2)).run(g)
+        assert res.trace is None
+
+    def test_one_task_per_vertex(self, traced_run):
+        g, res = traced_run
+        assert len(res.trace.tasks) == g.num_vertices
+        assert sorted(t.vertex for t in res.trace.tasks) == list(range(g.num_vertices))
+
+    def test_makespan_matches_stats(self, traced_run):
+        _, res = traced_run
+        assert res.trace.makespan == res.stats.makespan_cycles
+
+    def test_ascending_starts(self, traced_run):
+        """The dispatcher's invariant is visible in the trace."""
+        _, res = traced_run
+        tasks = sorted(res.trace.tasks, key=lambda t: t.vertex)
+        starts = [t.start for t in tasks]
+        assert starts == sorted(starts)
+
+    def test_no_overlap_on_one_pe(self, traced_run):
+        _, res = traced_run
+        for pe, tasks in res.trace.by_pe().items():
+            for a, b in zip(tasks, tasks[1:]):
+                assert a.finish <= b.start, f"overlap on PE {pe}"
+
+    def test_deferred_on_points_to_earlier_vertices(self, traced_run):
+        _, res = traced_run
+        for t in res.trace.tasks:
+            for dep in t.deferred_on:
+                assert dep < t.vertex
+
+    def test_task_of(self, traced_run):
+        _, res = traced_run
+        assert res.trace.task_of(0).vertex == 0
+        assert res.trace.task_of(10**9) is None
+
+
+class TestViews:
+    def test_utilization_range(self, traced_run):
+        _, res = traced_run
+        util = pe_utilization(res.trace)
+        assert set(util) == {0, 1, 2, 3}
+        assert all(0.0 < u <= 1.0 for u in util.values())
+
+    def test_gantt_renders(self, traced_run):
+        _, res = traced_run
+        out = render_gantt(res.trace, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 5  # 4 PEs + axis
+        assert "#" in lines[0]
+        assert "cycles" in lines[-1]
+
+    def test_gantt_empty(self):
+        assert "empty" in render_gantt(ExecutionTrace())
+
+    def test_critical_path(self, traced_run):
+        _, res = traced_run
+        path = critical_path(res.trace)
+        assert path
+        assert path[-1].finish == res.trace.makespan
+        # Finish times ascend along the path.
+        finishes = [t.finish for t in path]
+        assert finishes == sorted(finishes)
+
+    def test_critical_path_empty(self):
+        assert critical_path(ExecutionTrace()) == []

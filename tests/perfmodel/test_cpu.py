@@ -1,0 +1,83 @@
+"""Tests for the CPU performance model."""
+
+import pytest
+
+from repro.graph import erdos_renyi, rmat
+from repro.perfmodel import CPUCostParams, CPUModel
+
+
+@pytest.fixture
+def model():
+    return CPUModel()
+
+
+@pytest.fixture
+def graph():
+    return rmat(9, 6, seed=21)
+
+
+class TestMemoryModel:
+    def test_l1_resident(self):
+        p = CPUCostParams()
+        assert p.random_read_cycles(1024) == p.l1_cycles
+
+    def test_dram_dominated(self):
+        p = CPUCostParams()
+        big = p.random_read_cycles(1 << 30)
+        assert big > 0.9 * p.dram_cycles
+
+    def test_monotone_in_size(self):
+        p = CPUCostParams()
+        sizes = [1 << k for k in range(10, 31, 2)]
+        costs = [p.random_read_cycles(s) for s in sizes]
+        assert costs == sorted(costs)
+
+    def test_mid_size_blend(self):
+        """An array spanning L2+LLC lands between their latencies."""
+        p = CPUCostParams()
+        c = p.random_read_cycles(4 << 20)
+        assert p.l2_cycles < c < p.dram_cycles
+
+
+class TestRunModel:
+    def test_breakdown_sums_to_one(self, model, graph):
+        b = model.run(graph).breakdown()
+        assert sum(b.values()) == pytest.approx(1.0)
+
+    def test_stage1_dominates_low_degree(self, model):
+        """The paper-literal 1024-entry clear makes Stage 1 the bottleneck
+        on sparse graphs — the Fig 3(a) observation."""
+        g = erdos_renyi(2000, 0.002, seed=1)
+        b = model.run(g).breakdown()
+        assert b["stage1"] > b["stage0"]
+
+    def test_paper_scale_pricing_slows_run(self, model, graph):
+        small = model.run(graph)
+        big = model.run(graph, color_array_vertices=50_000_000)
+        assert big.time_seconds > small.time_seconds
+
+    def test_throughput(self, model, graph):
+        r = model.run(graph)
+        assert r.throughput_mcvs == pytest.approx(
+            graph.num_vertices / r.time_seconds / 1e6
+        )
+
+    def test_cached_greedy_reused(self, model, graph):
+        from repro.coloring import greedy_coloring
+
+        gr = greedy_coloring(graph, clear_mode="paper")
+        r = model.run(graph, greedy=gr)
+        assert r.greedy is gr
+
+
+class TestPreprocessing:
+    def test_reorder_much_cheaper_than_coloring(self, model, graph):
+        """Table 2's claim."""
+        r = model.run(graph)
+        pre = model.preprocessing_time_seconds(graph)
+        assert pre < 0.5 * r.time_seconds
+
+    def test_scales_with_edges(self, model):
+        a = erdos_renyi(500, 0.01, seed=2)
+        b = erdos_renyi(500, 0.08, seed=2)
+        assert model.preprocessing_time_seconds(b) > model.preprocessing_time_seconds(a)

@@ -1,0 +1,48 @@
+"""Tests for the GPU performance model."""
+
+import pytest
+
+from repro.coloring import assert_proper_coloring, gunrock_coloring
+from repro.graph import erdos_renyi, rmat, road_grid
+from repro.perfmodel import GPUCostParams, GPUModel
+
+
+@pytest.fixture
+def model():
+    return GPUModel()
+
+
+class TestGPUModel:
+    def test_time_positive_and_coloring_valid(self, model):
+        g = rmat(8, 6, seed=30)
+        r = model.run(g, seed=1)
+        assert r.time_seconds > 0
+        assert_proper_coloring(g, r.gunrock.colors)
+
+    def test_reuses_precomputed_result(self, model):
+        g = erdos_renyi(100, 0.1, seed=2)
+        gk = gunrock_coloring(g, seed=3)
+        r = model.run(g, result=gk)
+        assert r.gunrock is gk
+        assert r.rounds == gk.rounds
+
+    def test_more_rounds_cost_more(self):
+        """Frontier work is charged per round over the whole array."""
+        g = rmat(8, 6, seed=31)
+        fast = GPUModel(GPUCostParams(frontier_rate_per_s=1e12)).run(g)
+        slow = GPUModel(GPUCostParams(frontier_rate_per_s=1e6)).run(g)
+        assert slow.time_seconds > fast.time_seconds
+
+    def test_road_converges_quickly(self, model):
+        """Low-degree planar graphs finish in few hash rounds."""
+        g = road_grid(30, 30, seed=4)
+        r = model.run(g)
+        assert r.rounds <= 8
+        assert r.gunrock.tail_vertices == 0 or r.rounds == 8
+
+    def test_throughput(self, model):
+        g = erdos_renyi(200, 0.05, seed=5)
+        r = model.run(g)
+        assert r.throughput_mcvs == pytest.approx(
+            g.num_vertices / r.time_seconds / 1e6
+        )

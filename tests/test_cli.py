@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "rmat", "out.npz", "--scale", "8"]
+        )
+        assert args.kind == "rmat"
+        assert args.scale == 8
+
+    def test_color_needs_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["color"])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["rmat", "road", "uniform", "community"])
+    def test_generate_kinds(self, kind, tmp_path, capsys):
+        out = tmp_path / f"{kind}.npz"
+        rc = main(["generate", kind, str(out), "--scale", "7", "--seed", "1"])
+        assert rc == 0
+        assert out.exists()
+        assert "vertices" in capsys.readouterr().out
+
+
+class TestColor:
+    def test_color_file(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.npz"
+        main(["generate", "uniform", str(graph_path), "--scale", "7", "--degree", "6"])
+        colors_path = tmp_path / "colors.npy"
+        rc = main([
+            "color", "--input", str(graph_path),
+            "--algorithm", "greedy", "--output", str(colors_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "colors (validated)" in out
+        assert np.load(colors_path).min() >= 1
+
+    def test_color_dataset(self, capsys):
+        rc = main(["color", "--dataset", "EF", "--algorithm", "bitwise"])
+        assert rc == 0
+        assert "validated" in capsys.readouterr().out
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--dataset", "NOPE"])
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--input", "/does/not/exist.txt"])
+
+
+class TestSimulate:
+    def test_simulate_dataset(self, capsys):
+        rc = main(["simulate", "--dataset", "EF", "-p", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "MCV/s" in out
+
+    def test_simulate_with_gantt_and_disable(self, capsys):
+        rc = main([
+            "simulate", "--dataset", "EF", "-p", "2",
+            "--disable", "mgr", "puv", "--gantt", "--cache-kb", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PE 0" in out
+        assert "HDC+BWC" in out
+
+
+class TestExperiment:
+    def test_fig14(self, capsys):
+        rc = main(["experiment", "fig14"])
+        assert rc == 0
+        assert "BRAM" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        rc = main(["experiment", "table3"])
+        assert rc == 0
+        assert "ego-Facebook" in capsys.readouterr().out

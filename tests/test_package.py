@@ -1,0 +1,92 @@
+"""Package-surface tests: exports stay importable and consistent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = ["graph", "coloring", "hw", "perfmodel", "experiments"]
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, name):
+        """Every name a subpackage exports must actually exist."""
+        mod = importlib.import_module(f"repro.{name}")
+        for sym in mod.__all__:
+            assert hasattr(mod, sym), f"repro.{name}.__all__ lists missing {sym!r}"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_no_private_exports(self, name):
+        mod = importlib.import_module(f"repro.{name}")
+        assert not [s for s in mod.__all__ if s.startswith("_")]
+
+    def test_top_level_exports(self):
+        for sym in repro.__all__:
+            assert hasattr(repro, sym)
+
+    def test_cli_importable(self):
+        from repro.cli import build_parser
+
+        assert build_parser() is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graph.csr",
+            "repro.graph.generators",
+            "repro.graph.reorder",
+            "repro.graph.stats",
+            "repro.graph.partition",
+            "repro.graph.degeneracy",
+            "repro.graph.traversal",
+            "repro.graph.io",
+            "repro.coloring.greedy",
+            "repro.coloring.bitwise",
+            "repro.coloring.bitset",
+            "repro.coloring.dsatur",
+            "repro.coloring.jones_plassmann",
+            "repro.coloring.gunrock",
+            "repro.coloring.luby_mis",
+            "repro.coloring.backtracking",
+            "repro.coloring.ordering",
+            "repro.coloring.balanced",
+            "repro.coloring.incremental",
+            "repro.coloring.recolor",
+            "repro.coloring.verify",
+            "repro.hw.config",
+            "repro.hw.dram",
+            "repro.hw.cache",
+            "repro.hw.multiport",
+            "repro.hw.conflict",
+            "repro.hw.color_loader",
+            "repro.hw.bwpe",
+            "repro.hw.dispatcher",
+            "repro.hw.writer",
+            "repro.hw.accelerator",
+            "repro.hw.resources",
+            "repro.hw.energy",
+            "repro.hw.trace",
+            "repro.hw.cycle_sim",
+            "repro.hw.mis_engine",
+            "repro.perfmodel.cpu",
+            "repro.perfmodel.gpu",
+            "repro.perfmodel.metrics",
+            "repro.experiments.datasets",
+            "repro.experiments.runner",
+            "repro.experiments.figures",
+            "repro.experiments.tables",
+            "repro.experiments.report",
+            "repro.experiments.sensitivity",
+            "repro.experiments.paper",
+        ],
+    )
+    def test_module_has_docstring(self, module):
+        """Every module documents itself."""
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 30, module
