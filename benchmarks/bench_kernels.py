@@ -1,0 +1,49 @@
+"""Kernel-layer benchmark — scalar Python vs packed-bitset backends.
+
+Unlike the table/figure benchmarks (which report *modelled* cycles), this
+one measures real wall clock: both coloring backends on the stand-in suite.
+Running the file directly regenerates the checked-in ``BENCH_kernels.json``:
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+"""
+
+from repro.experiments import run_kernel_bench, write_results
+
+
+def _render(results):
+    lines = ["dataset  algorithm         python      vectorized  speedup"]
+    for e in results["entries"]:
+        lines.append(
+            f"{e['dataset']:<8} {e['algorithm']:<16} "
+            f"{e['python_s'] * 1e3:9.1f}ms {e['vectorized_s'] * 1e3:9.1f}ms "
+            f"{e['speedup']:6.1f}x"
+        )
+    smoke = results["smoke"]
+    lines.append(
+        f"smoke    {smoke['algorithm']:<16} "
+        f"{smoke['python_s'] * 1e3:9.1f}ms {smoke['vectorized_s'] * 1e3:9.1f}ms "
+        f"{smoke['baseline_speedup']:6.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def test_kernel_backends(benchmark, once, capsys):
+    results = once(benchmark, run_kernel_bench)
+    with capsys.disabled():
+        print("\n=== Kernel layer: python vs vectorized backends ===")
+        print(_render(results))
+    # The acceptance target: >=10x for vectorized bitwise coloring on the
+    # default power-law social stand-in (GD).
+    gd = [
+        e
+        for e in results["entries"]
+        if e["dataset"] == "GD" and e["algorithm"] == "bitwise"
+    ]
+    assert gd and gd[0]["speedup"] >= 10.0
+
+
+if __name__ == "__main__":
+    results = run_kernel_bench(repeats=5)
+    path = write_results(results)
+    print(_render(results))
+    print(f"\nwrote {path}")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Kernel-layer regression smoke check.
+
+Re-times the tiny fixed smoke benchmark (see
+:mod:`repro.experiments.kernel_bench`) and compares against the
+``smoke.baseline_speedup`` recorded in the checked-in ``BENCH_kernels.json``.
+Exits non-zero when the current speedup drops below half the baseline —
+i.e. a >2x regression of the vectorized backend relative to the scalar
+one, which is what a kernel silently degrading to per-vertex work looks
+like.  The 2x slack absorbs ordinary machine-to-machine noise.
+
+Usage:
+
+    python scripts/bench_smoke.py [--factor 2.0] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import check_smoke, load_results  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="allowed slowdown vs the baseline speedup (default: 2.0)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats; the best run counts (default: 3)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="result JSON to compare against (default: repo BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_results(args.baseline)
+    except FileNotFoundError as e:
+        print(f"no baseline found ({e.filename}); run benchmarks/bench_kernels.py")
+        return 1
+    ok, current, threshold = check_smoke(
+        baseline, factor=args.factor, repeats=args.repeats
+    )
+    recorded = float(baseline["smoke"]["baseline_speedup"])
+    print(
+        f"smoke speedup: current {current:.2f}x, "
+        f"baseline {recorded:.2f}x, threshold {threshold:.2f}x"
+    )
+    if not ok:
+        print("FAIL: vectorized backend regressed more than the allowed factor")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,10 @@ Subpackages
     Functional + cycle-approximate model of the BitColor FPGA
     accelerator: BWPEs, data-conflict table, multi-port HDV cache, color
     loader, task dispatcher, DRAM channels, resource/energy models.
+``repro.kernels``
+    Vectorized packed-bitset kernels: batch color states as uint64
+    bit-matrices, scatter-OR accumulation, batch first-free-color, and
+    the dependency-respecting batching behind ``backend="vectorized"``.
 ``repro.perfmodel``
     Calibrated CPU and GPU performance models used as comparison
     baselines for the paper's Figure 13.
@@ -22,6 +26,6 @@ Subpackages
 
 __version__ = "1.0.0"
 
-from . import coloring, experiments, graph, hw, perfmodel
+from . import coloring, experiments, graph, hw, kernels, perfmodel
 
-__all__ = ["coloring", "experiments", "graph", "hw", "perfmodel", "__version__"]
+__all__ = ["coloring", "experiments", "graph", "hw", "kernels", "perfmodel", "__version__"]

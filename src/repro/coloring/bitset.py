@@ -76,8 +76,15 @@ def bits_to_num(bits: int) -> int:
 
 
 def popcount(state: int) -> int:
-    """Number of set bits (count of distinct neighbour colors)."""
-    return bin(state).count("1")
+    """Number of set bits (count of distinct neighbour colors).
+
+    The vectorised counterpart for uint64 word arrays is
+    :func:`repro.kernels.popcount_u64`.
+    """
+    try:
+        return state.bit_count()
+    except AttributeError:  # Python < 3.10
+        return bin(state).count("1")
 
 
 def bits_or(words: Sequence[int]) -> int:
@@ -198,6 +205,9 @@ def first_free_colors_u64(states: np.ndarray) -> np.ndarray:
     if np.any(states == np.uint64(0xFFFFFFFFFFFFFFFF)):
         raise OverflowError("state word saturated; need wider color state")
     lowest_zero = (~states) & (states + np.uint64(1))
+    if hasattr(np, "bitwise_count"):
+        # Bit index of the one-hot word == count of zeros below the set bit.
+        return np.bitwise_count(lowest_zero - np.uint64(1)).astype(np.int64) + 1
     # log2 of a one-hot uint64: float conversion is exact for < 2**53 but
     # not above, so split high/low words.
     hi = (lowest_zero >> np.uint64(32)).astype(np.float64)

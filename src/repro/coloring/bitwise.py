@@ -12,6 +12,16 @@ The stage-counter semantics mirror :mod:`repro.coloring.greedy` so the two
 algorithms' work can be compared directly: Stage 1 here costs exactly one
 scan op (the bit expression) plus nothing to clear (the state register is
 reset by assignment).
+
+Two backends produce bit-identical results (colors, counters, pruning
+statistics — property-tested in ``tests/coloring``):
+
+* ``backend="python"`` — the reference scalar loop below, one vertex at a
+  time with arbitrary-precision int color states;
+* ``backend="vectorized"`` — the packed-bitset kernel layer
+  (:mod:`repro.kernels`): the ordering is cut into dependency-respecting
+  contiguous runs and each run is colored in one data-parallel sweep over
+  a ``(run, words)`` uint64 state matrix.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ def bitwise_greedy_coloring(
     order: Optional[Sequence[int]] = None,
     prune_uncolored: bool = False,
     max_colors: Optional[int] = None,
+    backend: str = "python",
 ) -> BitwiseResult:
     """Run Algorithm 2.
 
@@ -59,11 +70,20 @@ def bitwise_greedy_coloring(
         the pruning rule still skips exactly the not-yet-colored vertices
         because it compares against colored state implicitly through IDs,
         so callers passing a custom order should leave this off.
+    backend:
+        ``"python"`` (reference scalar loop) or ``"vectorized"`` (the
+        packed-bitset kernel layer, identical results).
     """
+    if backend not in ("python", "vectorized"):
+        raise ValueError(f"backend must be 'python' or 'vectorized', got {backend!r}")
     n = graph.num_vertices
     ordering = _resolve_order(graph, order)
     if prune_uncolored and not np.array_equal(ordering, np.arange(n)):
         raise ValueError("prune_uncolored requires ascending-ID processing order")
+    if backend == "vectorized":
+        return _bitwise_vectorized(
+            graph, ordering, prune_uncolored=prune_uncolored, max_colors=max_colors
+        )
     colors = np.zeros(n, dtype=np.int64)
     counters = StageCounters()
     pruned = 0
@@ -89,6 +109,104 @@ def bitwise_greedy_coloring(
         # Stage 2 — color update.
         colors[vi] = result
         counters.stage2_ops += 1
+
+    used = np.unique(colors[colors != UNCOLORED])
+    return BitwiseResult(
+        colors=colors,
+        counters=counters,
+        num_colors=int(used.size),
+        pruned_edges=pruned,
+    )
+
+
+def _bitwise_vectorized(
+    graph: CSRGraph,
+    ordering: np.ndarray,
+    *,
+    prune_uncolored: bool,
+    max_colors: Optional[int],
+) -> BitwiseResult:
+    """Algorithm 2 over the packed-bitset kernels, one level batch at a time.
+
+    The ordering's dependency DAG is level-scheduled
+    (:func:`repro.kernels.dependency_levels`): every batch member's
+    earlier-ordered neighbours are already final and no two members are
+    adjacent, so a batch's Stage 0 is one scatter-OR over its gathered CSR
+    slots and its Stage 1 one batch first-free-color call — bit-identical
+    to the scalar walk.  The counters are the same totals the scalar loop
+    accumulates: one Stage-0 op per non-pruned edge slot, one Stage-1 scan
+    and one Stage-2 write per vertex.
+    """
+    from ..kernels import (
+        dependency_levels,
+        first_free_colors_packed,
+        gather_ranges,
+        scatter_or_colors,
+        words_for_colors,
+    )
+
+    n = graph.num_vertices
+    colors = np.zeros(n, dtype=np.int64)
+    counters = StageCounters()
+    pruned = (
+        int(np.count_nonzero(graph.edges > graph.source_of_edge_slots()))
+        if prune_uncolored
+        else 0
+    )
+    counters.stage0_ops = graph.num_edges - pruned
+    counters.stage1_scan_ops = n
+    counters.stage2_ops = n
+
+    # The scalar loop raises at the first offending vertex *in order*; with
+    # level batching a smaller-position offender can surface in a later
+    # batch, so finish the sweep and report the order-minimal one.
+    offender = None  # (position, vertex, color)
+    if n:
+        batch_pos, bounds = dependency_levels(graph, ordering)
+        deg = graph.degrees()
+        # The state width tracks the colors actually in play: a batch's
+        # neighbour colors never exceed the maximum color assigned so far
+        # and its first-free results never exceed that maximum plus one, so
+        # words_for_colors(max_so_far + 1) words always suffice (and most
+        # graphs stay on the single-word fast path the whole run).
+        max_color_so_far = 0
+        # One gather for the whole schedule: slots of every vertex, grouped
+        # by level; the level loop then only slices.
+        verts_all = ordering[batch_pos]
+        lens_all = deg[verts_all]
+        dst_all = graph.edges[gather_ranges(graph.offsets[verts_all], lens_all)]
+        row_all = np.repeat(np.arange(n, dtype=np.int64), lens_all)
+        slot_bounds = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lens_all, out=slot_bounds[1:])
+        if prune_uncolored:
+            keep_all = dst_all <= np.repeat(verts_all, lens_all)
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            s, e = int(s), int(e)
+            lo, hi = int(slot_bounds[s]), int(slot_bounds[e])
+            verts = verts_all[s:e]
+            dst = dst_all[lo:hi]
+            rows = row_all[lo:hi] - s
+            if prune_uncolored:
+                keep = keep_all[lo:hi]
+                dst = dst[keep]
+                rows = rows[keep]
+            num_words = words_for_colors(max_color_so_far + 1)
+            state = scatter_or_colors(rows, colors[dst], e - s, num_words)
+            result = first_free_colors_packed(state)
+            colors[verts] = result
+            max_color_so_far = max(max_color_so_far, int(result.max()))
+            if max_colors is not None:
+                over = result > max_colors
+                if np.any(over):
+                    i = int(np.argmax(over))  # positions ascend within a batch
+                    p = int(batch_pos[s + i])
+                    if offender is None or p < offender[0]:
+                        offender = (p, int(verts[i]), int(result[i]))
+    if offender is not None:
+        raise ValueError(
+            f"vertex {offender[1]} needs color {offender[2]} "
+            f"> max_colors {max_colors}"
+        )
 
     used = np.unique(colors[colors != UNCOLORED])
     return BitwiseResult(

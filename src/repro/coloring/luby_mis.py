@@ -26,13 +26,22 @@ def luby_mis(
     *,
     candidates: np.ndarray | None = None,
     seed: int = 0,
+    backend: str = "python",
 ) -> np.ndarray:
     """Luby's algorithm: a maximal independent set among ``candidates``.
 
     Returns a boolean mask over all vertices.  ``candidates`` defaults to
     every vertex; vertices outside it are ignored entirely (treated as
     removed from the graph).
+
+    ``backend="python"`` re-scans the full edge array every round;
+    ``backend="vectorized"`` keeps a compacted edge list holding only the
+    edges whose endpoints are both still alive, so later rounds touch only
+    the shrinking frontier.  Both draw the same random priorities and
+    return bit-identical masks.
     """
+    if backend not in ("python", "vectorized"):
+        raise ValueError(f"backend must be 'python' or 'vectorized', got {backend!r}")
     n = graph.num_vertices
     gen = np.random.default_rng(seed)
     alive = (
@@ -43,6 +52,23 @@ def luby_mis(
     in_set = np.zeros(n, dtype=bool)
     src_all = graph.source_of_edge_slots()
     dst_all = graph.edges
+
+    if backend == "vectorized":
+        # Invariant: (esrc, edst) are exactly the edges with both endpoints
+        # alive, so each round's masks shrink with the frontier.
+        live = alive[src_all] & alive[dst_all]
+        esrc, edst = src_all[live], dst_all[live]
+        while alive.any():
+            prio = gen.permutation(n).astype(np.int64)
+            loser = esrc[prio[esrc] < prio[edst]]
+            joins = alive.copy()
+            joins[loser] = False
+            in_set |= joins
+            alive &= ~joins
+            alive[edst[joins[esrc]]] = False
+            keep = alive[esrc] & alive[edst]
+            esrc, edst = esrc[keep], edst[keep]
+        return in_set
 
     while alive.any():
         # Random priorities; a vertex joins when it beats all alive neighbours.
@@ -69,8 +95,13 @@ class MISColoringResult:
     MIS extractions — the storage-pressure figure the paper cites."""
 
 
-def mis_coloring(graph: CSRGraph, *, seed: int = 0) -> MISColoringResult:
-    """Color by repeated MIS extraction (one color per MIS)."""
+def mis_coloring(
+    graph: CSRGraph, *, seed: int = 0, backend: str = "python"
+) -> MISColoringResult:
+    """Color by repeated MIS extraction (one color per MIS).
+
+    ``backend`` is forwarded to :func:`luby_mis`.
+    """
     n = graph.num_vertices
     colors = np.zeros(n, dtype=np.int64)
     remaining = np.ones(n, dtype=bool)
@@ -78,7 +109,7 @@ def mis_coloring(graph: CSRGraph, *, seed: int = 0) -> MISColoringResult:
     color = 0
     while remaining.any():
         color += 1
-        mis = luby_mis(graph, candidates=remaining, seed=seed + color)
+        mis = luby_mis(graph, candidates=remaining, seed=seed + color, backend=backend)
         if not mis.any():  # pragma: no cover - cannot happen on simple graphs
             raise RuntimeError("empty MIS on a non-empty candidate set")
         colors[mis] = color

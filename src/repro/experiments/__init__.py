@@ -13,6 +13,14 @@ from .figures import (
     fig13_comparison,
     fig14_resources,
 )
+from .kernel_bench import (
+    check_smoke,
+    load_results,
+    run_kernel_bench,
+    run_smoke,
+    smoke_graph,
+    write_results,
+)
 from .runner import get_graph, get_spec, run_bitcolor, run_cpu, run_gpu, run_greedy
 from .tables import (
     Table2Row,
@@ -48,6 +56,12 @@ __all__ = [
     "fig12_scaling",
     "fig13_comparison",
     "fig14_resources",
+    "check_smoke",
+    "load_results",
+    "run_kernel_bench",
+    "run_smoke",
+    "smoke_graph",
+    "write_results",
     "get_graph",
     "get_spec",
     "run_bitcolor",

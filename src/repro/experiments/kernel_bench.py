@@ -1,0 +1,179 @@
+"""Python-vs-vectorized kernel benchmark (the ``backend`` flag, measured).
+
+The coloring algorithms expose two backends: the reference scalar Python
+loops and the packed-bitset kernel layer (:mod:`repro.kernels`).  They are
+property-tested to be bit-identical, so the only question left is speed —
+this module times both on the synthetic dataset suite and writes
+``BENCH_kernels.json`` at the repo root.
+
+Two entry points:
+
+* :func:`run_kernel_bench` — the full matrix (datasets × algorithms),
+  driven by ``benchmarks/bench_kernels.py``;
+* :func:`run_smoke` / :func:`check_smoke` — a tiny fixed graph timed the
+  same way, compared against the checked-in baseline by
+  ``scripts/bench_smoke.py`` so a kernel-layer regression fails fast in
+  tier-1 without the cost (or flakiness) of the full suite.
+
+Timings are best-of-``repeats`` wall clock: the minimum is the standard
+robust statistic for micro-benchmarks because noise is strictly additive.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..coloring import bitwise_greedy_coloring, jones_plassmann_coloring, luby_mis
+from ..graph import CSRGraph, powerlaw_cluster
+from .datasets import load_dataset
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_DATASETS",
+    "DEFAULT_RESULT_PATH",
+    "check_smoke",
+    "load_results",
+    "run_kernel_bench",
+    "run_smoke",
+    "smoke_graph",
+    "write_results",
+]
+
+DEFAULT_RESULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_kernels.json"
+"""Checked-in benchmark results at the repo root."""
+
+DEFAULT_DATASETS: Tuple[str, ...] = ("EF", "GD", "RC", "CL")
+"""One stand-in per topology class: small social, default power-law social
+(the acceptance target), road grid, R-MAT."""
+
+ALGORITHMS: Tuple[str, ...] = ("bitwise", "jones_plassmann", "luby_mis")
+
+SMOKE_SPEC = "powerlaw_cluster(1200, 6, 0.3, seed=7)"
+"""Human-readable description of :func:`smoke_graph`, recorded in the JSON."""
+
+
+def _runner(algorithm: str, graph: CSRGraph, backend: str) -> Callable[[], object]:
+    """A zero-argument callable running one (algorithm, backend) pair."""
+    if algorithm == "bitwise":
+        return lambda: bitwise_greedy_coloring(
+            graph, prune_uncolored=True, backend=backend
+        )
+    if algorithm == "jones_plassmann":
+        return lambda: jones_plassmann_coloring(graph, seed=0, backend=backend)
+    if algorithm == "luby_mis":
+        return lambda: luby_mis(graph, seed=0, backend=backend)
+    raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure(graph: CSRGraph, algorithm: str, repeats: int) -> Dict[str, float]:
+    python_fn = _runner(algorithm, graph, "python")
+    vector_fn = _runner(algorithm, graph, "vectorized")
+    # Warm both paths once (first-call overheads: schedule memoisation,
+    # lazy imports) so the timed runs compare steady-state kernels.
+    python_fn()
+    vector_fn()
+    python_s = _best_of(python_fn, repeats)
+    vectorized_s = _best_of(vector_fn, repeats)
+    return {
+        "python_s": python_s,
+        "vectorized_s": vectorized_s,
+        "speedup": python_s / vectorized_s if vectorized_s > 0 else float("inf"),
+    }
+
+
+def run_kernel_bench(
+    datasets: Iterable[str] = DEFAULT_DATASETS,
+    algorithms: Iterable[str] = ALGORITHMS,
+    *,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time every (dataset, algorithm) pair on both backends.
+
+    Returns the JSON-ready result document; :func:`write_results` persists
+    it to :data:`DEFAULT_RESULT_PATH`.
+    """
+    entries: List[Dict[str, object]] = []
+    for key in datasets:
+        graph = load_dataset(key, preprocessed=True)
+        for algorithm in algorithms:
+            timing = _measure(graph, algorithm, repeats)
+            entries.append(
+                {
+                    "dataset": key,
+                    "algorithm": algorithm,
+                    "num_vertices": graph.num_vertices,
+                    "num_edges": graph.num_edges,
+                    **timing,
+                }
+            )
+    return {
+        "unit": "seconds, best of repeats",
+        "repeats": repeats,
+        "entries": entries,
+        "smoke": run_smoke(repeats=repeats),
+    }
+
+
+def smoke_graph() -> CSRGraph:
+    """The fixed tiny graph the smoke check times (see :data:`SMOKE_SPEC`)."""
+    return powerlaw_cluster(1200, 6, 0.3, seed=7, name="smoke")
+
+
+def run_smoke(*, repeats: int = 3) -> Dict[str, object]:
+    """Time the bitwise backends on the smoke graph.
+
+    The recorded ``baseline_speedup`` is what :func:`check_smoke` compares
+    future runs against.
+    """
+    timing = _measure(smoke_graph(), "bitwise", repeats)
+    return {
+        "algorithm": "bitwise",
+        "graph": SMOKE_SPEC,
+        "baseline_speedup": timing["speedup"],
+        "python_s": timing["python_s"],
+        "vectorized_s": timing["vectorized_s"],
+    }
+
+
+def check_smoke(
+    baseline: Dict[str, object], *, factor: float = 2.0, repeats: int = 3
+) -> Tuple[bool, float, float]:
+    """Re-run the smoke benchmark against a checked-in baseline.
+
+    Returns ``(ok, current_speedup, threshold)`` where the check passes as
+    long as the current speedup is no worse than ``baseline / factor`` —
+    loose enough to absorb machine noise, tight enough to catch the kernel
+    layer silently falling back to scalar work.
+    """
+    smoke = baseline.get("smoke", baseline)
+    baseline_speedup = float(smoke["baseline_speedup"])
+    current = float(run_smoke(repeats=repeats)["baseline_speedup"])
+    threshold = baseline_speedup / factor
+    return current >= threshold, current, threshold
+
+
+def write_results(
+    results: Dict[str, object], path: Optional[Path] = None
+) -> Path:
+    """Write the result document as pretty-printed JSON; returns the path."""
+    path = DEFAULT_RESULT_PATH if path is None else Path(path)
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def load_results(path: Optional[Path] = None) -> Dict[str, object]:
+    """Read a previously written result document."""
+    path = DEFAULT_RESULT_PATH if path is None else Path(path)
+    return json.loads(path.read_text())

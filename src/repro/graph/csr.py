@@ -25,6 +25,28 @@ class GraphError(ValueError):
     """Raised when a graph is malformed or an operation's preconditions fail."""
 
 
+MAX_KEY_ENCODABLE_VERTICES = 3_037_000_499
+"""Largest ``num_vertices`` whose ``src * n + dst`` edge keys fit in int64
+(``floor(sqrt(2**63))``); beyond it key encoding would silently wrap."""
+
+
+def _edge_keys(num_vertices: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Encode edges as ``src * n + dst`` int64 keys, guarding against wrap.
+
+    The largest key is ``(n - 1) * n + (n - 1) == n**2 - 1``, which
+    overflows int64 once ``n`` exceeds ``floor(sqrt(2**63))`` — silently,
+    because NumPy wraps.  A wrapped key would merge unrelated edges in
+    dedup/duplicate checks, so refuse loudly instead.
+    """
+    if num_vertices > MAX_KEY_ENCODABLE_VERTICES:
+        raise GraphError(
+            f"num_vertices={num_vertices} exceeds the edge-key encoding limit "
+            f"of {MAX_KEY_ENCODABLE_VERTICES}: src * num_vertices + dst would "
+            "overflow int64 and silently merge distinct edges"
+        )
+    return src * np.int64(num_vertices) + dst
+
+
 def _as_index_array(values: Sequence[int], name: str) -> np.ndarray:
     arr = np.asarray(values, dtype=np.int64)
     if arr.ndim != 1:
@@ -80,6 +102,10 @@ class CSRGraph:
         # simulator component is an error rather than silent corruption.
         offsets.setflags(write=False)
         edges.setflags(write=False)
+        # Per-instance memo for derived arrays (slot sources, kernel batch
+        # schedules).  Deliberately not a dataclass field: it never leaks
+        # into equality, repr, or copied ``meta`` dicts.
+        object.__setattr__(self, "_cache", {})
 
     @classmethod
     def from_edge_list(
@@ -151,7 +177,7 @@ class CSRGraph:
             src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
         if dedup and src.size:
             # Encode each edge as a single integer key for a fast unique pass.
-            keys = src * np.int64(num_vertices) + dst
+            keys = _edge_keys(num_vertices, src, dst)
             _, idx = np.unique(keys, return_index=True)
             src, dst = src[idx], dst[idx]
         order = np.lexsort((dst, src))
@@ -236,8 +262,20 @@ class CSRGraph:
         return np.column_stack([src, self.edges])
 
     def source_of_edge_slots(self) -> np.ndarray:
-        """For each slot in ``edges``, the source vertex of that slot."""
-        return np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees())
+        """For each slot in ``edges``, the source vertex of that slot.
+
+        Memoised (read-only) per instance: the array depends only on
+        ``offsets``, which is immutable, and the vectorized kernels ask for
+        it on every sweep.
+        """
+        cached = self._cache.get("slot_sources")
+        if cached is None:
+            cached = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self.degrees()
+            )
+            cached.setflags(write=False)
+            self._cache["slot_sources"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Structural predicates
@@ -247,24 +285,29 @@ class CSRGraph:
         fwd = self.edge_array()
         if fwd.size == 0:
             return True
-        n = np.int64(self.num_vertices)
-        keys = np.sort(fwd[:, 0] * n + fwd[:, 1])
-        rkeys = np.sort(fwd[:, 1] * n + fwd[:, 0])
+        keys = np.sort(_edge_keys(self.num_vertices, fwd[:, 0], fwd[:, 1]))
+        rkeys = np.sort(_edge_keys(self.num_vertices, fwd[:, 1], fwd[:, 0]))
         return bool(np.array_equal(keys, rkeys))
 
     def has_sorted_edges(self) -> bool:
-        """True when each vertex's neighbour list is ascending (MGR precondition)."""
-        for v in range(self.num_vertices):
-            nbrs = self.neighbors(v)
-            if nbrs.size > 1 and np.any(np.diff(nbrs) < 0):
-                return False
-        return True
+        """True when each vertex's neighbour list is ascending (MGR precondition).
+
+        One vectorised diff over the whole edge array; descents that fall on
+        a vertex boundary (where a new neighbour list starts) are ignored.
+        """
+        if self.edges.size < 2:
+            return True
+        descent = np.diff(self.edges) < 0
+        boundary = self.offsets[1:-1] - 1
+        boundary = boundary[(boundary >= 0) & (boundary < descent.size)]
+        descent[boundary] = False
+        return not bool(descent.any())
 
     def has_duplicate_edges(self) -> bool:
         fwd = self.edge_array()
         if fwd.size == 0:
             return False
-        keys = fwd[:, 0] * np.int64(self.num_vertices) + fwd[:, 1]
+        keys = _edge_keys(self.num_vertices, fwd[:, 0], fwd[:, 1])
         return bool(np.unique(keys).size != keys.size)
 
     def has_self_loops(self) -> bool:
@@ -278,12 +321,15 @@ class CSRGraph:
 
         This is the paper's "edge sorting" preprocessing step (Section
         3.2.2, strategy 2) that enables DRAM read merging and early pruning.
+
+        One ``np.lexsort`` over (source, destination): sources are already
+        grouped, so the stable sort leaves each group in place and orders
+        destinations within it.
         """
-        edges = self.edges.copy()
-        for v in range(self.num_vertices):
-            s, e = self.offsets[v], self.offsets[v + 1]
-            edges[s:e] = np.sort(edges[s:e])
-        g = CSRGraph(offsets=self.offsets.copy(), edges=edges, name=self.name)
+        order = np.lexsort((self.edges, self.source_of_edge_slots()))
+        g = CSRGraph(
+            offsets=self.offsets.copy(), edges=self.edges[order], name=self.name
+        )
         g.meta.update(self.meta)
         g.meta["edges_sorted"] = True
         return g
@@ -291,19 +337,16 @@ class CSRGraph:
     def subgraph(self, vertices: Sequence[int], name: Optional[str] = None) -> "CSRGraph":
         """Induced subgraph on ``vertices``, renumbered ``0..len(vertices)-1``."""
         vertices = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
-        for v in vertices:
-            self._check_vertex(int(v))
+        if vertices.size:
+            # Sorted, so the extremes are the only candidates out of range.
+            self._check_vertex(int(vertices[0]))
+            self._check_vertex(int(vertices[-1]))
         remap = -np.ones(self.num_vertices, dtype=np.int64)
         remap[vertices] = np.arange(vertices.size)
-        srcs, dsts = [], []
-        for v in vertices:
-            nbrs = self.neighbors(int(v))
-            keep = remap[nbrs] >= 0
-            kept = nbrs[keep]
-            srcs.append(np.full(kept.size, remap[v]))
-            dsts.append(remap[kept])
-        src = np.concatenate(srcs) if srcs else np.zeros(0, dtype=np.int64)
-        dst = np.concatenate(dsts) if dsts else np.zeros(0, dtype=np.int64)
+        slot_src = self.source_of_edge_slots()
+        keep = (remap[slot_src] >= 0) & (remap[self.edges] >= 0)
+        src = remap[slot_src[keep]]
+        dst = remap[self.edges[keep]]
         return CSRGraph.from_arrays(
             vertices.size, src, dst, symmetrize=False, dedup=False,
             name=name or f"{self.name}-sub",

@@ -1,0 +1,34 @@
+"""Vectorized packed-bitset kernels for the coloring hot paths.
+
+The batch counterpart of :mod:`repro.coloring.bitset`: color states live in
+``(rows, words)`` uint64 bit-matrices and every primitive — scatter-OR
+accumulation, batch first-free-color, one-hot conversion, popcount — runs
+over all rows at once.  The coloring algorithms select this layer with
+``backend="vectorized"``; see ``docs/performance.md``.
+"""
+
+from .batching import contiguous_independent_runs, dependency_levels, gather_ranges
+from .bitmatrix import (
+    WORD_BITS,
+    bit_index_u64,
+    colors_to_onehot,
+    first_free_colors_packed,
+    onehot_to_colors,
+    popcount_u64,
+    scatter_or_colors,
+    words_for_colors,
+)
+
+__all__ = [
+    "WORD_BITS",
+    "bit_index_u64",
+    "colors_to_onehot",
+    "contiguous_independent_runs",
+    "dependency_levels",
+    "first_free_colors_packed",
+    "gather_ranges",
+    "onehot_to_colors",
+    "popcount_u64",
+    "scatter_or_colors",
+    "words_for_colors",
+]

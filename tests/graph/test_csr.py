@@ -174,3 +174,32 @@ class TestDerivation:
         g = complete_graph(6)
         assert g.num_undirected_edges == 15
         assert g.degrees().tolist() == [5] * 6
+
+
+class TestEdgeKeyOverflowGuard:
+    """`src * n + dst` edge keys must refuse to wrap int64 silently."""
+
+    def test_from_arrays_rejects_oversized_vertex_count(self):
+        # 4e9 vertices would make the largest key n**2 - 1 > 2**63; the
+        # guard must fire before any O(n) allocation happens.
+        with pytest.raises(GraphError, match="edge-key encoding limit"):
+            CSRGraph.from_arrays(4_000_000_000, np.array([0]), np.array([1]))
+
+    def test_edge_keys_guard_boundary(self):
+        from repro.graph.csr import MAX_KEY_ENCODABLE_VERTICES, _edge_keys
+
+        src = np.array([MAX_KEY_ENCODABLE_VERTICES - 1], dtype=np.int64)
+        dst = np.array([MAX_KEY_ENCODABLE_VERTICES - 1], dtype=np.int64)
+        # At the limit the largest key n**2 - 1 still fits in int64...
+        keys = _edge_keys(MAX_KEY_ENCODABLE_VERTICES, src, dst)
+        assert keys[0] == MAX_KEY_ENCODABLE_VERTICES**2 - 1
+        assert MAX_KEY_ENCODABLE_VERTICES**2 - 1 < 2**63
+        # ...one vertex more and it would not.
+        assert (MAX_KEY_ENCODABLE_VERTICES + 1) ** 2 - 1 >= 2**63
+        with pytest.raises(GraphError, match="overflow int64"):
+            _edge_keys(MAX_KEY_ENCODABLE_VERTICES + 1, src, dst)
+
+    def test_duplicate_and_symmetry_checks_still_work(self):
+        g = CSRGraph.from_edge_list(3, [(0, 1), (1, 2)])
+        assert not g.has_duplicate_edges()
+        assert g.is_symmetric()

@@ -1,0 +1,61 @@
+"""Tier-1 wrapper around ``scripts/bench_smoke.py``.
+
+Keeps the kernel-layer speedup honest on every test run: the vectorized
+bitwise backend must stay within 2x of the speedup recorded in the
+checked-in ``BENCH_kernels.json``.  The smoke graph is tiny (1200
+vertices) so this costs tens of milliseconds.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import check_smoke, load_results, run_smoke
+from repro.experiments.kernel_bench import DEFAULT_RESULT_PATH
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_baseline_is_checked_in():
+    assert DEFAULT_RESULT_PATH == REPO_ROOT / "BENCH_kernels.json"
+    assert DEFAULT_RESULT_PATH.exists(), "run benchmarks/bench_kernels.py first"
+    doc = json.loads(DEFAULT_RESULT_PATH.read_text())
+    assert doc["smoke"]["baseline_speedup"] > 1.0
+    gd = [
+        e
+        for e in doc["entries"]
+        if e["dataset"] == "GD" and e["algorithm"] == "bitwise"
+    ]
+    assert gd and gd[0]["speedup"] >= 10.0
+
+
+def test_smoke_no_regression():
+    baseline = load_results()
+    ok, current, threshold = check_smoke(baseline, factor=2.0, repeats=3)
+    assert ok, (
+        f"vectorized backend regressed: smoke speedup {current:.2f}x "
+        f"fell below threshold {threshold:.2f}x"
+    )
+
+
+def test_smoke_script_main():
+    """The CLI wiring itself: exit 0 against the checked-in baseline."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_smoke", REPO_ROOT / "scripts" / "bench_smoke.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert mod.main(["--repeats", "2"]) == 0
+    # An absurd factor<1 demand must fail (current can't beat baseline*10).
+    assert mod.main(["--factor", "0.01"]) == 1
+
+
+def test_run_smoke_shape():
+    doc = run_smoke(repeats=1)
+    assert doc["algorithm"] == "bitwise"
+    assert doc["baseline_speedup"] == pytest.approx(
+        doc["python_s"] / doc["vectorized_s"]
+    )
