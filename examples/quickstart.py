@@ -4,7 +4,8 @@
 1. Generate a power-law graph (a stand-in for a social network).
 2. Apply the paper's preprocessing: degree-based-grouping reordering and
    per-vertex edge sorting.
-3. Color it three ways — basic greedy (Algorithm 1), bit-wise greedy
+3. Color it three ways through the one public entry point,
+   :func:`repro.color` — basic greedy (Algorithm 1), bit-wise greedy
    (Algorithm 2), and the full BitColor accelerator simulation with 16
    parallel bit-wise engines — and check all three agree.
 4. Print the accelerator's modelled performance counters.
@@ -14,13 +15,9 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.coloring import (
-    assert_proper_coloring,
-    bitwise_greedy_coloring,
-    greedy_coloring,
-)
+import repro
+from repro.coloring import assert_proper_coloring
 from repro.graph import degree_based_grouping, rmat, sort_edges
-from repro.hw import BitColorAccelerator, HWConfig
 
 # ----------------------------------------------------------------------
 # 1. Build a graph.
@@ -39,16 +36,17 @@ print("preprocessed: vertex 0 now has the highest in-degree "
       f"({g.in_degrees()[0]}), edges sorted ascending")
 
 # ----------------------------------------------------------------------
-# 3. Color three ways.
+# 3. Color three ways — every result is a ColoringOutcome with the same
+#    .colors / .n_colors / .as_dict() surface.
 # ----------------------------------------------------------------------
-basic = greedy_coloring(g)
-bitwise = bitwise_greedy_coloring(g, prune_uncolored=True)
-accel = BitColorAccelerator(HWConfig(parallelism=16)).run(g)
+basic = repro.color(g, "greedy")
+bitwise = repro.color(g, "bitwise", prune_uncolored=True)
+accel = repro.color(g, "bitwise", backend="hw", parallelism=16)
 
 assert np.array_equal(basic.colors, bitwise.colors)
 assert np.array_equal(basic.colors, accel.colors)
 assert_proper_coloring(g, accel.colors)
-print(f"\nall three methods agree: {accel.num_colors} colors")
+print(f"\nall three methods agree: {accel.n_colors} colors")
 print(f"bit-wise Stage-1 ops: {bitwise.counters.stage1_ops} "
       f"(basic greedy needed {basic.counters.stage1_ops})")
 print(f"PUV pruned {bitwise.pruned_edges} of {g.num_edges} edge visits")
@@ -58,7 +56,8 @@ original_colors = reorder.map_coloring_to_original(accel.colors)
 assert_proper_coloring(graph, original_colors)
 
 # ----------------------------------------------------------------------
-# 4. Modelled accelerator performance.
+# 4. Modelled accelerator performance (accel is an AcceleratorResult —
+#    as_dict() serialises the whole thing, stats included).
 # ----------------------------------------------------------------------
 s = accel.stats
 print(f"\naccelerator model (P=16 @ {accel.config.frequency_mhz:.0f} MHz):")

@@ -1,17 +1,24 @@
 #!/usr/bin/env python
 """Kernel-layer regression smoke check.
 
-Re-times the tiny fixed smoke benchmark (see
-:mod:`repro.experiments.kernel_bench`) and compares against the
-``smoke.baseline_speedup`` recorded in the checked-in ``BENCH_kernels.json``.
-Exits non-zero when the current speedup drops below half the baseline —
-i.e. a >2x regression of the vectorized backend relative to the scalar
-one, which is what a kernel silently degrading to per-vertex work looks
-like.  The 2x slack absorbs ordinary machine-to-machine noise.
+Two gates, both against the checked-in ``BENCH_kernels.json``:
+
+1. **Speedup** — re-times the tiny fixed smoke benchmark (see
+   :mod:`repro.experiments.kernel_bench`) and compares against the
+   recorded ``smoke.baseline_speedup``.  Exits non-zero when the current
+   speedup drops below half the baseline — i.e. a >2x regression of the
+   vectorized backend relative to the scalar one, which is what a kernel
+   silently degrading to per-vertex work looks like.  The 2x slack
+   absorbs ordinary machine-to-machine noise.
+2. **Disabled-observability overhead** — times the same vectorized run
+   under an explicitly disabled ``repro.obs`` registry and requires it to
+   stay within ``--obs-limit`` (default +5 %) of the recorded
+   ``smoke.vectorized_s``.  This is what keeps the instrumentation an
+   honest no-op for library users who never opt in.
 
 Usage:
 
-    python scripts/bench_smoke.py [--factor 2.0] [--repeats 3]
+    python scripts/bench_smoke.py [--factor 2.0] [--repeats 3] [--obs-limit 1.05]
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.experiments import check_smoke, load_results  # noqa: E402
+from repro.experiments import check_obs_overhead, check_smoke, load_results  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,6 +53,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="result JSON to compare against (default: repo BENCH_kernels.json)",
     )
+    parser.add_argument(
+        "--obs-limit",
+        type=float,
+        default=1.05,
+        help="allowed obs-disabled time vs the baseline vectorized_s "
+             "(default: 1.05 = +5%%)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -63,6 +77,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     if not ok:
         print("FAIL: vectorized backend regressed more than the allowed factor")
+        return 1
+
+    obs_ok, obs_current, obs_threshold = check_obs_overhead(
+        baseline, limit=args.obs_limit, repeats=max(args.repeats, 5)
+    )
+    print(
+        f"obs-disabled smoke time: current {obs_current * 1e3:.3f} ms, "
+        f"threshold {obs_threshold * 1e3:.3f} ms "
+        f"(baseline x {args.obs_limit:.2f})"
+    )
+    if not obs_ok:
+        print("FAIL: disabled observability costs more than the allowed overhead")
         return 1
     print("OK")
     return 0

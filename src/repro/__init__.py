@@ -22,10 +22,31 @@ Subpackages
 ``repro.experiments``
     Dataset registry (synthetic stand-ins for the paper's SNAP graphs)
     and one entry point per paper table/figure.
+``repro.obs``
+    Zero-dependency observability: hierarchical timing spans,
+    counter/gauge/histogram registries and pluggable exporters
+    (JSON-lines, console, in-memory), threaded through every layer.
+
+The one-call entry point is :func:`repro.color`::
+
+    import repro
+    out = repro.color(graph, algorithm="bitwise", backend="vectorized")
+    out.colors, out.n_colors, out.as_dict()
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import coloring, experiments, graph, hw, kernels, perfmodel
+from . import coloring, experiments, graph, hw, kernels, obs, perfmodel
+from .api import color
 
-__all__ = ["coloring", "experiments", "graph", "hw", "kernels", "perfmodel", "__version__"]
+__all__ = [
+    "color",
+    "coloring",
+    "experiments",
+    "graph",
+    "hw",
+    "kernels",
+    "obs",
+    "perfmodel",
+    "__version__",
+]

@@ -80,32 +80,30 @@ def cmd_generate(args) -> int:
 
 
 def cmd_color(args) -> int:
-    from .coloring import (
-        assert_proper_coloring,
-        bitwise_greedy_coloring,
-        dsatur_coloring,
-        greedy_coloring_fast,
-        gunrock_coloring,
-        jones_plassmann_coloring,
-        num_colors,
-    )
+    from . import color
+    from .coloring import assert_proper_coloring, get_algorithm
 
     g = _load_graph(args)
-    algos = {
-        "greedy": lambda: greedy_coloring_fast(g),
-        "bitwise": lambda: bitwise_greedy_coloring(
-            g, prune_uncolored=not args.raw
-        ).colors,
-        "dsatur": lambda: dsatur_coloring(g),
-        "jp": lambda: jones_plassmann_coloring(g, seed=args.seed).colors,
-        "gunrock": lambda: gunrock_coloring(g, seed=args.seed).colors,
-    }
-    colors = algos[args.algorithm]()
-    assert_proper_coloring(g, colors)
+    spec = get_algorithm(args.algorithm)
+    opts = {}
+    if spec.supports_seed:
+        opts["seed"] = args.seed
+    if args.algorithm == "bitwise" and args.backend != "hw":
+        opts["prune_uncolored"] = not args.raw
+    out = color(
+        g,
+        args.algorithm,
+        backend=args.backend,
+        obs=args.obs,
+        **opts,
+    )
+    assert_proper_coloring(g, out.colors)
     print(f"{g.name}: {g.num_vertices} vertices, {g.num_undirected_edges} edges")
-    print(f"{args.algorithm}: {num_colors(colors)} colors (validated)")
+    print(f"{args.algorithm}: {out.n_colors} colors (validated)")
+    if args.obs:
+        print(f"obs records written to {args.obs}")
     if args.output:
-        np.save(args.output, colors)
+        np.save(args.output, out.colors)
         print(f"colors written to {args.output}")
     return 0
 
@@ -113,6 +111,7 @@ def cmd_color(args) -> int:
 def cmd_simulate(args) -> int:
     from .hw import BitColorAccelerator, HWConfig, OptimizationFlags
     from .hw.trace import pe_utilization, render_gantt
+    from .obs import JsonlExporter, Registry, use_registry
 
     g = _load_graph(args)
     flags = OptimizationFlags(
@@ -124,7 +123,16 @@ def cmd_simulate(args) -> int:
     cfg = HWConfig(parallelism=args.parallelism)
     if args.cache_kb is not None:
         cfg = HWConfig(parallelism=args.parallelism, cache_bytes=args.cache_kb << 10)
-    res = BitColorAccelerator(cfg, flags).run(g, trace=args.gantt)
+    acc = BitColorAccelerator(cfg, flags)
+    if args.obs:
+        # The artifact carries both wall-clock spans and the cycle-clock
+        # task trace, so tracing is forced on.
+        reg = Registry()
+        with use_registry(reg):
+            res = acc.run(g, trace=True)
+        JsonlExporter(args.obs).export(reg)
+    else:
+        res = acc.run(g, trace=args.gantt)
     s = res.stats
     print(f"{g.name}: {g.num_vertices} vertices, {g.num_undirected_edges} edges")
     print(f"config: P={cfg.parallelism} flags={flags.label()} "
@@ -137,6 +145,8 @@ def cmd_simulate(args) -> int:
     print(f"cache reads {s.cache_reads}, LDV reads {s.ldv_reads} "
           f"(merged {s.merged_reads}), pruned {s.pruned_edges}, "
           f"conflicts {s.conflicts}")
+    if args.obs:
+        print(f"obs records written to {args.obs}")
     if args.gantt:
         print("\n" + render_gantt(res.trace))
         util = pe_utilization(res.trace)
@@ -182,13 +192,18 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--seed", type=int, default=0)
     g.set_defaults(fn=cmd_generate)
 
+    from .coloring.registry import algorithm_names
+
     c = sub.add_parser("color", help="color a graph")
     _add_input_args(c)
     c.add_argument(
-        "--algorithm", default="bitwise",
-        choices=["greedy", "bitwise", "dsatur", "jp", "gunrock"],
+        "--algorithm", default="bitwise", choices=list(algorithm_names()),
     )
+    c.add_argument("--backend", default=None,
+                   help="algorithm backend (e.g. python, vectorized, hw)")
     c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--obs", metavar="PATH",
+                   help="write spans/counters of the run as JSON lines")
     c.add_argument("--output", help="save the color array (.npy)")
     c.set_defaults(fn=cmd_color)
 
@@ -202,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="optimizations to turn off")
     s.add_argument("--gantt", action="store_true",
                    help="print a per-PE occupancy chart")
+    s.add_argument("--obs", metavar="PATH",
+                   help="write spans, counters and the cycle-clock task "
+                        "trace as JSON lines (implies tracing)")
     s.set_defaults(fn=cmd_simulate)
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")

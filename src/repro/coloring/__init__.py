@@ -21,6 +21,14 @@ from .ordering import ORDERINGS, compare_orderings, ordering
 from .recolor import RecolorResult, iterated_greedy, kempe_chain, kempe_reduce
 from .jones_plassmann import JPResult, JPRound, jones_plassmann_coloring
 from .luby_mis import MISColoringResult, luby_mis, mis_coloring
+from .outcome import ColoringOutcome, OutcomeMixin, PlainColoringResult
+from .registry import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+)
 from .verify import (
     UNCOLORED,
     ColoringError,
@@ -71,6 +79,14 @@ __all__ = [
     "MISColoringResult",
     "luby_mis",
     "mis_coloring",
+    "ColoringOutcome",
+    "OutcomeMixin",
+    "PlainColoringResult",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
     "UNCOLORED",
     "ColoringError",
     "assert_proper_coloring",

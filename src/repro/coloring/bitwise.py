@@ -32,15 +32,17 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import get_registry
 from .bitset import bits_to_num, first_free_bits, num_to_bits
 from .greedy import StageCounters, _resolve_order
+from .outcome import OutcomeMixin
 from .verify import UNCOLORED
 
 __all__ = ["BitwiseResult", "bitwise_greedy_coloring"]
 
 
 @dataclass
-class BitwiseResult:
+class BitwiseResult(OutcomeMixin):
     """Coloring plus work accounting for the bit-wise algorithm."""
 
     colors: np.ndarray
@@ -80,10 +82,36 @@ def bitwise_greedy_coloring(
     ordering = _resolve_order(graph, order)
     if prune_uncolored and not np.array_equal(ordering, np.arange(n)):
         raise ValueError("prune_uncolored requires ascending-ID processing order")
-    if backend == "vectorized":
-        return _bitwise_vectorized(
-            graph, ordering, prune_uncolored=prune_uncolored, max_colors=max_colors
-        )
+    obs = get_registry()
+    with obs.span(
+        "coloring.bitwise", backend=backend, vertices=n, edges=graph.num_edges
+    ):
+        if backend == "vectorized":
+            result = _bitwise_vectorized(
+                graph, ordering, prune_uncolored=prune_uncolored, max_colors=max_colors
+            )
+        else:
+            result = _bitwise_python(
+                graph, ordering, prune_uncolored=prune_uncolored, max_colors=max_colors
+            )
+    if obs.enabled:
+        obs.add("coloring.bitwise.stage0_ops", result.counters.stage0_ops)
+        obs.add("coloring.bitwise.stage1_scan_ops", result.counters.stage1_scan_ops)
+        obs.add("coloring.bitwise.stage2_ops", result.counters.stage2_ops)
+        obs.add("coloring.bitwise.pruned_edges", result.pruned_edges)
+        obs.gauge("coloring.bitwise.colors", result.num_colors)
+    return result
+
+
+def _bitwise_python(
+    graph: CSRGraph,
+    ordering: np.ndarray,
+    *,
+    prune_uncolored: bool,
+    max_colors: Optional[int],
+) -> BitwiseResult:
+    """The reference scalar loop (``backend="python"``)."""
+    n = graph.num_vertices
     colors = np.zeros(n, dtype=np.int64)
     counters = StageCounters()
     pruned = 0

@@ -14,6 +14,7 @@ from typing import List, Set
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import get_registry
 from .verify import UNCOLORED
 
 __all__ = ["dsatur_coloring"]
@@ -25,6 +26,15 @@ def dsatur_coloring(graph: CSRGraph) -> np.ndarray:
     colors = np.zeros(n, dtype=np.int64)
     if n == 0:
         return colors
+    with get_registry().span(
+        "coloring.dsatur", vertices=n, edges=graph.num_edges
+    ):
+        _dsatur_loop(graph, colors)
+    return colors
+
+
+def _dsatur_loop(graph: CSRGraph, colors: np.ndarray) -> None:
+    n = graph.num_vertices
     degrees = graph.degrees()
     neighbor_colors: List[Set[int]] = [set() for _ in range(n)]
     # Max-heap keyed by (saturation, degree); lazy deletion via stamp check.
@@ -56,4 +66,3 @@ def dsatur_coloring(graph: CSRGraph) -> np.ndarray:
                 heapq.heappush(
                     heap, (-len(neighbor_colors[wi]), -int(degrees[wi]), wi)
                 )
-    return colors

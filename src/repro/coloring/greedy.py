@@ -25,6 +25,8 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import get_registry
+from .outcome import OutcomeMixin
 from .verify import UNCOLORED
 
 __all__ = ["StageCounters", "GreedyResult", "greedy_coloring", "greedy_coloring_fast"]
@@ -63,7 +65,7 @@ class StageCounters:
 
 
 @dataclass
-class GreedyResult:
+class GreedyResult(OutcomeMixin):
     """Coloring plus the work accounting of the run."""
 
     colors: np.ndarray
@@ -112,6 +114,38 @@ def greedy_coloring(
     """
     if clear_mode not in ("touched", "paper"):
         raise ValueError("clear_mode must be 'touched' or 'paper'")
+    obs = get_registry()
+    with obs.span(
+        "coloring.greedy",
+        clear_mode=clear_mode,
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+    ):
+        result = _greedy_python(
+            graph,
+            order=order,
+            max_colors=max_colors,
+            clear_mode=clear_mode,
+            color_number=color_number,
+        )
+    if obs.enabled:
+        obs.add("coloring.greedy.stage0_ops", result.counters.stage0_ops)
+        obs.add("coloring.greedy.stage1_scan_ops", result.counters.stage1_scan_ops)
+        obs.add("coloring.greedy.stage1_clear_ops", result.counters.stage1_clear_ops)
+        obs.add("coloring.greedy.stage2_ops", result.counters.stage2_ops)
+        obs.gauge("coloring.greedy.colors", result.num_colors)
+    return result
+
+
+def _greedy_python(
+    graph: CSRGraph,
+    *,
+    order: Optional[Sequence[int]],
+    max_colors: Optional[int],
+    clear_mode: str,
+    color_number: int,
+) -> GreedyResult:
+    """The counted Algorithm 1 loop behind :func:`greedy_coloring`."""
     n = graph.num_vertices
     ordering = _resolve_order(graph, order)
     colors = np.zeros(n, dtype=np.int64)
@@ -177,10 +211,17 @@ def greedy_coloring_fast(
     n = graph.num_vertices
     ordering = _resolve_order(graph, order)
     colors = np.zeros(n, dtype=np.int64)
+    with get_registry().span(
+        "coloring.greedy_fast", vertices=n, edges=graph.num_edges
+    ):
+        _greedy_fast_loop(graph, ordering, colors)
+    return colors
+
+
+def _greedy_fast_loop(graph: CSRGraph, ordering: np.ndarray, colors: np.ndarray) -> None:
     for v in ordering:
         nbr_colors = colors[graph.neighbors(int(v))]
         used = np.unique(nbr_colors[nbr_colors != UNCOLORED])
         # First gap in the sorted used-color list: position where used[i] != i+1.
         gap = np.nonzero(used != np.arange(1, used.size + 1))[0]
         colors[int(v)] = int(gap[0]) + 1 if gap.size else used.size + 1
-    return colors

@@ -27,6 +27,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import get_registry
+from .outcome import OutcomeMixin
 from .verify import UNCOLORED
 
 __all__ = ["GunrockResult", "gunrock_coloring", "default_round_cap"]
@@ -42,7 +44,7 @@ def default_round_cap(num_vertices: int) -> int:
 
 
 @dataclass
-class GunrockResult:
+class GunrockResult(OutcomeMixin):
     colors: np.ndarray
     num_colors: int
     rounds: int
@@ -76,33 +78,45 @@ def gunrock_coloring(
     frontier_rounds = 0
     per_round: List[int] = []
     color_base = 0
+    obs = get_registry()
 
-    while uncolored.any() and rounds < cap:
-        rounds += 1
-        frontier = int(np.count_nonzero(uncolored))
-        frontier_rounds += frontier
-        prio = gen.permutation(n)
-        live = uncolored[src] & uncolored[dst]
-        live_edges += int(np.count_nonzero(live))
-        # A vertex joins the round's independent set when no uncolored
-        # neighbour out-prioritises it (local maximum under a fresh hash).
-        lose = np.zeros(n, dtype=bool)
-        m = live & (prio[src] < prio[dst])
-        np.logical_or.at(lose, src[m], True)
-        selected = uncolored & ~lose
-        color_base += 1
-        colors[selected] = color_base
-        per_round.append(int(np.count_nonzero(selected)))
-        uncolored &= ~selected
+    with obs.span(
+        "coloring.gunrock", vertices=n, edges=graph.num_edges, round_cap=cap
+    ) as sp:
+        while uncolored.any() and rounds < cap:
+            rounds += 1
+            frontier = int(np.count_nonzero(uncolored))
+            frontier_rounds += frontier
+            prio = gen.permutation(n)
+            live = uncolored[src] & uncolored[dst]
+            live_edges += int(np.count_nonzero(live))
+            # A vertex joins the round's independent set when no uncolored
+            # neighbour out-prioritises it (local maximum under a fresh hash).
+            lose = np.zeros(n, dtype=bool)
+            m = live & (prio[src] < prio[dst])
+            np.logical_or.at(lose, src[m], True)
+            selected = uncolored & ~lose
+            color_base += 1
+            colors[selected] = color_base
+            per_round.append(int(np.count_nonzero(selected)))
+            uncolored &= ~selected
 
-    # Tail pass: remaining vertices take their first free color greedily.
-    tail = np.nonzero(uncolored)[0]
-    tail_edges = int(np.count_nonzero(uncolored[src]))
-    for v in tail:
-        nbr_colors = colors[graph.neighbors(int(v))]
-        used = np.unique(nbr_colors[nbr_colors != UNCOLORED])
-        gap = np.nonzero(used != np.arange(1, used.size + 1))[0]
-        colors[int(v)] = int(gap[0]) + 1 if gap.size else used.size + 1
+        # Tail pass: remaining vertices take their first free color greedily.
+        tail = np.nonzero(uncolored)[0]
+        tail_edges = int(np.count_nonzero(uncolored[src]))
+        for v in tail:
+            nbr_colors = colors[graph.neighbors(int(v))]
+            used = np.unique(nbr_colors[nbr_colors != UNCOLORED])
+            gap = np.nonzero(used != np.arange(1, used.size + 1))[0]
+            colors[int(v)] = int(gap[0]) + 1 if gap.size else used.size + 1
+        sp.set(rounds=rounds, tail_vertices=int(tail.size))
+
+    if obs.enabled:
+        obs.add("coloring.gunrock.rounds", rounds)
+        obs.add("coloring.gunrock.live_edges_scanned", live_edges)
+        obs.add("coloring.gunrock.frontier_vertex_rounds", frontier_rounds)
+        obs.add("coloring.gunrock.tail_vertices", int(tail.size))
+        obs.add("coloring.gunrock.tail_edges", tail_edges)
 
     used = np.unique(colors[colors != UNCOLORED])
     return GunrockResult(

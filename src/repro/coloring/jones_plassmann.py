@@ -29,6 +29,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import get_registry
+from .outcome import OutcomeMixin
 from .verify import UNCOLORED
 
 __all__ = ["JPRound", "JPResult", "jones_plassmann_coloring"]
@@ -45,7 +47,7 @@ class JPRound:
 
 
 @dataclass
-class JPResult:
+class JPResult(OutcomeMixin):
     colors: np.ndarray
     num_colors: int
     rounds: List[JPRound] = field(default_factory=list)
@@ -101,13 +103,38 @@ def jones_plassmann_coloring(
     src_all = graph.source_of_edge_slots()
     dst_all = graph.edges
     cap = max_rounds if max_rounds is not None else 4 * n + 16
+    obs = get_registry()
 
-    if backend == "vectorized":
-        _jp_vectorized_rounds(graph, prio, colors, uncolored, result, cap)
+    with obs.span(
+        "coloring.jp", backend=backend, vertices=n, edges=graph.num_edges
+    ):
+        if backend == "vectorized":
+            _jp_vectorized_rounds(graph, prio, colors, uncolored, result, cap)
+        else:
+            _jp_python_rounds(
+                graph, prio, colors, uncolored, result, cap, src_all, dst_all
+            )
         used = np.unique(colors[colors != UNCOLORED])
         result.num_colors = int(used.size)
-        return result
+    if obs.enabled:
+        obs.add("coloring.jp.rounds", result.num_rounds)
+        obs.add("coloring.jp.edges_scanned", result.total_edges_scanned)
+        obs.gauge("coloring.jp.colors", result.num_colors)
+    return result
 
+
+def _jp_python_rounds(
+    graph: CSRGraph,
+    prio: np.ndarray,
+    colors: np.ndarray,
+    uncolored: np.ndarray,
+    result: JPResult,
+    cap: int,
+    src_all: np.ndarray,
+    dst_all: np.ndarray,
+) -> None:
+    """The reference round loop (``backend="python"``)."""
+    obs = get_registry()
     rnd = 0
     while uncolored.any():
         if rnd >= cap:
@@ -115,21 +142,23 @@ def jones_plassmann_coloring(
         # An uncolored vertex is selected when no uncolored neighbour has a
         # higher priority.  Vectorised: for every edge slot whose endpoints
         # are both uncolored, the lower-priority source is suppressed.
-        active = int(np.count_nonzero(uncolored))
-        live = uncolored[src_all] & uncolored[dst_all]
-        losers = src_all[live & (prio[src_all] < prio[dst_all])]
-        selected = uncolored.copy()
-        selected[losers] = False
-        winners = np.nonzero(selected)[0]
-        edges_scanned = int(np.count_nonzero(uncolored[src_all]))
-        # Color all winners: they form an independent set among uncolored
-        # vertices, so coloring them in any order within the round is safe.
-        for v in winners:
-            nbr_colors = colors[graph.neighbors(int(v))]
-            used = np.unique(nbr_colors[nbr_colors != UNCOLORED])
-            gap = np.nonzero(used != np.arange(1, used.size + 1))[0]
-            colors[int(v)] = int(gap[0]) + 1 if gap.size else used.size + 1
-        uncolored[winners] = False
+        with obs.span("coloring.jp.round", round=rnd) as sp:
+            active = int(np.count_nonzero(uncolored))
+            live = uncolored[src_all] & uncolored[dst_all]
+            losers = src_all[live & (prio[src_all] < prio[dst_all])]
+            selected = uncolored.copy()
+            selected[losers] = False
+            winners = np.nonzero(selected)[0]
+            edges_scanned = int(np.count_nonzero(uncolored[src_all]))
+            # Color all winners: they form an independent set among uncolored
+            # vertices, so coloring them in any order within the round is safe.
+            for v in winners:
+                nbr_colors = colors[graph.neighbors(int(v))]
+                used = np.unique(nbr_colors[nbr_colors != UNCOLORED])
+                gap = np.nonzero(used != np.arange(1, used.size + 1))[0]
+                colors[int(v)] = int(gap[0]) + 1 if gap.size else used.size + 1
+            uncolored[winners] = False
+            sp.set(winners=int(winners.size), edges_scanned=edges_scanned)
         result.rounds.append(
             JPRound(
                 round_index=rnd,
@@ -139,10 +168,6 @@ def jones_plassmann_coloring(
             )
         )
         rnd += 1
-
-    used = np.unique(colors[colors != UNCOLORED])
-    result.num_colors = int(used.size)
-    return result
 
 
 def _jp_vectorized_rounds(
@@ -190,30 +215,33 @@ def _jp_vectorized_rounds(
     edst = graph.edges
     losing = prio[esrc] < prio[edst]
     esrc, edst = esrc[losing], edst[losing]
+    obs = get_registry()
     rnd = 0
     while uncolored.any():
         if rnd >= cap:
             raise RuntimeError("Jones–Plassmann failed to converge (priority ties?)")
-        active = int(np.count_nonzero(uncolored))
-        losers = esrc
-        selected = uncolored.copy()
-        selected[losers] = False
-        winners = np.nonzero(selected)[0]
-        edges_scanned = int(deg[uncolored].sum())
-        lens = deg[winners]
-        slots = gather_ranges(graph.offsets[winners], lens)
-        rows = np.repeat(np.arange(winners.size, dtype=np.int64), lens)
-        num_words = words_for_colors(max_color_so_far + 1)
-        state = scatter_or_colors(
-            rows, colors[graph.edges[slots]], winners.size, num_words
-        )
-        new_colors = first_free_colors_packed(state)
-        colors[winners] = new_colors
-        if new_colors.size:
-            max_color_so_far = max(max_color_so_far, int(new_colors.max()))
-        uncolored[winners] = False
-        keep = uncolored[esrc] & uncolored[edst]
-        esrc, edst = esrc[keep], edst[keep]
+        with obs.span("coloring.jp.round", round=rnd) as sp:
+            active = int(np.count_nonzero(uncolored))
+            losers = esrc
+            selected = uncolored.copy()
+            selected[losers] = False
+            winners = np.nonzero(selected)[0]
+            edges_scanned = int(deg[uncolored].sum())
+            lens = deg[winners]
+            slots = gather_ranges(graph.offsets[winners], lens)
+            rows = np.repeat(np.arange(winners.size, dtype=np.int64), lens)
+            num_words = words_for_colors(max_color_so_far + 1)
+            state = scatter_or_colors(
+                rows, colors[graph.edges[slots]], winners.size, num_words
+            )
+            new_colors = first_free_colors_packed(state)
+            colors[winners] = new_colors
+            if new_colors.size:
+                max_color_so_far = max(max_color_so_far, int(new_colors.max()))
+            uncolored[winners] = False
+            keep = uncolored[esrc] & uncolored[edst]
+            esrc, edst = esrc[keep], edst[keep]
+            sp.set(winners=int(winners.size), edges_scanned=edges_scanned)
         result.rounds.append(
             JPRound(
                 round_index=rnd,

@@ -16,6 +16,8 @@ from typing import List
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import get_registry
+from .outcome import OutcomeMixin
 from .verify import UNCOLORED
 
 __all__ = ["luby_mis", "MISColoringResult", "mis_coloring"]
@@ -53,12 +55,15 @@ def luby_mis(
     src_all = graph.source_of_edge_slots()
     dst_all = graph.edges
 
+    obs = get_registry()
+    rounds = 0
     if backend == "vectorized":
         # Invariant: (esrc, edst) are exactly the edges with both endpoints
         # alive, so each round's masks shrink with the frontier.
         live = alive[src_all] & alive[dst_all]
         esrc, edst = src_all[live], dst_all[live]
         while alive.any():
+            rounds += 1
             prio = gen.permutation(n).astype(np.int64)
             loser = esrc[prio[esrc] < prio[edst]]
             joins = alive.copy()
@@ -68,9 +73,12 @@ def luby_mis(
             alive[edst[joins[esrc]]] = False
             keep = alive[esrc] & alive[edst]
             esrc, edst = esrc[keep], edst[keep]
+        if obs.enabled:
+            obs.add("coloring.luby.rounds", rounds)
         return in_set
 
     while alive.any():
+        rounds += 1
         # Random priorities; a vertex joins when it beats all alive neighbours.
         prio = gen.permutation(n).astype(np.int64)
         live_edge = alive[src_all] & alive[dst_all]
@@ -82,11 +90,13 @@ def luby_mis(
         alive &= ~joins
         touched = dst_all[joins[src_all]]
         alive[touched] = False
+    if obs.enabled:
+        obs.add("coloring.luby.rounds", rounds)
     return in_set
 
 
 @dataclass
-class MISColoringResult:
+class MISColoringResult(OutcomeMixin):
     colors: np.ndarray
     num_colors: int
     mis_rounds: List[int] = field(default_factory=list)
@@ -106,18 +116,28 @@ def mis_coloring(
     colors = np.zeros(n, dtype=np.int64)
     remaining = np.ones(n, dtype=bool)
     result = MISColoringResult(colors=colors, num_colors=0)
-    color = 0
-    while remaining.any():
-        color += 1
-        mis = luby_mis(graph, candidates=remaining, seed=seed + color, backend=backend)
-        if not mis.any():  # pragma: no cover - cannot happen on simple graphs
-            raise RuntimeError("empty MIS on a non-empty candidate set")
-        colors[mis] = color
-        remaining &= ~mis
-        result.mis_rounds.append(int(np.count_nonzero(mis)))
-        # Live state: priorities + alive mask + join mask over candidates.
-        result.peak_live_state = max(
-            result.peak_live_state, 3 * int(np.count_nonzero(remaining | mis))
-        )
-    result.num_colors = color if n else 0
+    obs = get_registry()
+    with obs.span(
+        "coloring.mis", backend=backend, vertices=n, edges=graph.num_edges
+    ):
+        color = 0
+        while remaining.any():
+            color += 1
+            mis = luby_mis(
+                graph, candidates=remaining, seed=seed + color, backend=backend
+            )
+            if not mis.any():  # pragma: no cover - cannot happen on simple graphs
+                raise RuntimeError("empty MIS on a non-empty candidate set")
+            colors[mis] = color
+            remaining &= ~mis
+            result.mis_rounds.append(int(np.count_nonzero(mis)))
+            # Live state: priorities + alive mask + join mask over candidates.
+            result.peak_live_state = max(
+                result.peak_live_state, 3 * int(np.count_nonzero(remaining | mis))
+            )
+        result.num_colors = color if n else 0
+    if obs.enabled:
+        obs.add("coloring.mis.extractions", len(result.mis_rounds))
+        obs.gauge("coloring.mis.peak_live_state", result.peak_live_state)
+        obs.gauge("coloring.mis.colors", result.num_colors)
     return result

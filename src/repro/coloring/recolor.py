@@ -17,6 +17,7 @@ throughput story (its Table 4 shows preprocessing alone already buys
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
@@ -24,7 +25,9 @@ from typing import List, Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..obs import get_registry
 from .greedy import greedy_coloring_fast
+from .outcome import OutcomeMixin
 from .verify import UNCOLORED, num_colors
 
 __all__ = ["kempe_chain", "kempe_reduce", "iterated_greedy", "RecolorResult"]
@@ -56,7 +59,7 @@ def kempe_chain(
 
 
 @dataclass
-class RecolorResult:
+class RecolorResult(OutcomeMixin):
     colors: np.ndarray
     colors_before: int
     colors_after: int
@@ -65,6 +68,21 @@ class RecolorResult:
     @property
     def improved(self) -> bool:
         return self.colors_after < self.colors_before
+
+    @property
+    def n_colors(self) -> int:
+        return int(self.colors_after)
+
+    @property
+    def num_colors(self) -> int:
+        """Deprecated alias for :attr:`colors_after` (use ``n_colors``)."""
+        warnings.warn(
+            "RecolorResult.num_colors is deprecated; use n_colors or "
+            "colors_after",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return int(self.colors_after)
 
 
 def kempe_reduce(
@@ -86,6 +104,30 @@ def kempe_reduce(
     colors = np.asarray(colors, dtype=np.int64).copy()
     before = num_colors(colors)
     rounds = 0
+    obs = get_registry()
+    with obs.span(
+        "coloring.kempe_reduce",
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        colors_before=before,
+    ) as sp:
+        colors, rounds = _kempe_rounds(graph, colors, max_rounds, rounds)
+        after = num_colors(colors)
+        sp.set(rounds=rounds, colors_after=after)
+    if obs.enabled:
+        obs.add("coloring.kempe_reduce.rounds", rounds)
+        obs.gauge("coloring.kempe_reduce.colors_after", after)
+    return RecolorResult(
+        colors=colors,
+        colors_before=before,
+        colors_after=after,
+        iterations=rounds,
+    )
+
+
+def _kempe_rounds(
+    graph: CSRGraph, colors: np.ndarray, max_rounds: int, rounds: int
+) -> tuple:
     for _ in range(max_rounds):
         k = num_colors(colors)
         if k <= 1:
@@ -124,12 +166,7 @@ def kempe_reduce(
     used = sorted(set(int(c) for c in colors if c != UNCOLORED))
     remap = {c: i + 1 for i, c in enumerate(used)}
     colors = np.asarray([remap.get(int(c), 0) for c in colors], dtype=np.int64)
-    return RecolorResult(
-        colors=colors,
-        colors_before=before,
-        colors_after=num_colors(colors),
-        iterations=rounds,
-    )
+    return colors, rounds
 
 
 def iterated_greedy(
@@ -155,25 +192,38 @@ def iterated_greedy(
     )
     before = num_colors(current)
     best = current
-    for it in range(iterations):
-        k = num_colors(best)
-        classes: List[np.ndarray] = [
-            np.nonzero(best == c)[0] for c in range(1, k + 1)
-        ]
-        classes = [c for c in classes if c.size]
-        if it % 3 == 0:
-            classes.sort(key=lambda c: -c.size)
-        elif it % 3 == 1:
-            classes.reverse()
-        else:
-            gen.shuffle(classes)
-        order = np.concatenate(classes) if classes else np.arange(0)
-        candidate = greedy_coloring_fast(graph, order=order)
-        if num_colors(candidate) <= num_colors(best):
-            best = candidate
+    obs = get_registry()
+    with obs.span(
+        "coloring.iterated_greedy",
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        iterations=iterations,
+        colors_before=before,
+    ) as sp:
+        for it in range(iterations):
+            k = num_colors(best)
+            classes: List[np.ndarray] = [
+                np.nonzero(best == c)[0] for c in range(1, k + 1)
+            ]
+            classes = [c for c in classes if c.size]
+            if it % 3 == 0:
+                classes.sort(key=lambda c: -c.size)
+            elif it % 3 == 1:
+                classes.reverse()
+            else:
+                gen.shuffle(classes)
+            order = np.concatenate(classes) if classes else np.arange(0)
+            candidate = greedy_coloring_fast(graph, order=order)
+            if num_colors(candidate) <= num_colors(best):
+                best = candidate
+        after = num_colors(best)
+        sp.set(colors_after=after)
+    if obs.enabled:
+        obs.add("coloring.iterated_greedy.iterations", iterations)
+        obs.gauge("coloring.iterated_greedy.colors_after", after)
     return RecolorResult(
         colors=best,
         colors_before=before,
-        colors_after=num_colors(best),
+        colors_after=after,
         iterations=iterations,
     )

@@ -14,9 +14,11 @@ from .figures import (
     fig14_resources,
 )
 from .kernel_bench import (
+    check_obs_overhead,
     check_smoke,
     load_results,
     run_kernel_bench,
+    run_obs_overhead,
     run_smoke,
     smoke_graph,
     write_results,
@@ -56,9 +58,11 @@ __all__ = [
     "fig12_scaling",
     "fig13_comparison",
     "fig14_resources",
+    "check_obs_overhead",
     "check_smoke",
     "load_results",
     "run_kernel_bench",
+    "run_obs_overhead",
     "run_smoke",
     "smoke_graph",
     "write_results",

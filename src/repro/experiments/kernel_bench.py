@@ -28,15 +28,18 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..coloring import bitwise_greedy_coloring, jones_plassmann_coloring, luby_mis
 from ..graph import CSRGraph, powerlaw_cluster
+from ..obs import Registry, use_registry
 from .datasets import load_dataset
 
 __all__ = [
     "ALGORITHMS",
     "DEFAULT_DATASETS",
     "DEFAULT_RESULT_PATH",
+    "check_obs_overhead",
     "check_smoke",
     "load_results",
     "run_kernel_bench",
+    "run_obs_overhead",
     "run_smoke",
     "smoke_graph",
     "write_results",
@@ -162,6 +165,38 @@ def check_smoke(
     current = float(run_smoke(repeats=repeats)["baseline_speedup"])
     threshold = baseline_speedup / factor
     return current >= threshold, current, threshold
+
+
+def run_obs_overhead(*, repeats: int = 5) -> float:
+    """Best-of-``repeats`` smoke-kernel time with obs *disabled* (seconds).
+
+    Times the vectorized bitwise run under an explicitly disabled
+    :class:`~repro.obs.Registry`, i.e. exactly the state library users get
+    by default — every instrumentation point must reduce to one branch.
+    """
+    graph = smoke_graph()
+    fn = _runner("bitwise", graph, "vectorized")
+    with use_registry(Registry(enabled=False)):
+        fn()  # warm: schedule memoisation, lazy imports
+        return _best_of(fn, repeats)
+
+
+def check_obs_overhead(
+    baseline: Dict[str, object], *, limit: float = 1.05, repeats: int = 5
+) -> Tuple[bool, float, float]:
+    """Check the disabled-observability overhead against the baseline.
+
+    Compares the obs-disabled smoke time to the checked-in
+    ``smoke.vectorized_s`` (recorded before the instrumentation existed).
+    Returns ``(ok, current_s, threshold_s)``; the check passes while the
+    instrumented-but-disabled kernel stays within ``limit`` (default +5 %)
+    of the uninstrumented baseline.
+    """
+    smoke = baseline.get("smoke", baseline)
+    baseline_s = float(smoke["vectorized_s"])
+    current = run_obs_overhead(repeats=repeats)
+    threshold = baseline_s * limit
+    return current <= threshold, current, threshold
 
 
 def write_results(

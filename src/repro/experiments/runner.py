@@ -17,6 +17,7 @@ from ..coloring.greedy import GreedyResult, greedy_coloring
 from ..graph.csr import CSRGraph
 from ..hw.accelerator import AcceleratorResult, BitColorAccelerator
 from ..hw.config import HWConfig, OptimizationFlags
+from ..obs import get_registry
 from ..perfmodel.cpu import CPUModel, CPURunResult
 from ..perfmodel.gpu import GPUModel, GPURunResult
 from .datasets import REGISTRY, DatasetSpec, load_dataset
@@ -39,7 +40,12 @@ def get_spec(key: str) -> DatasetSpec:
 
 
 def get_graph(key: str, *, preprocessed: bool = True) -> CSRGraph:
-    return load_dataset(key, preprocessed=preprocessed)
+    with get_registry().span(
+        "experiment.load_graph", dataset=key, preprocessed=preprocessed
+    ) as sp:
+        graph = load_dataset(key, preprocessed=preprocessed)
+        sp.set(vertices=graph.num_vertices, edges=graph.num_edges)
+    return graph
 
 
 @lru_cache(maxsize=None)
@@ -50,9 +56,12 @@ def run_bitcolor(
 ) -> AcceleratorResult:
     """Simulate BitColor on a stand-in with paper-faithful cache scaling."""
     spec = get_spec(key)
-    graph = get_graph(key)
-    config = spec.config_for(parallelism, graph.num_vertices)
-    return BitColorAccelerator(config, flags).run(graph)
+    with get_registry().span(
+        "experiment.bitcolor", dataset=key, parallelism=parallelism
+    ):
+        graph = get_graph(key)
+        config = spec.config_for(parallelism, graph.num_vertices)
+        return BitColorAccelerator(config, flags).run(graph)
 
 
 @lru_cache(maxsize=None)
@@ -60,9 +69,12 @@ def run_greedy(
     key: str, *, preprocessed: bool = True, clear_mode: str = "touched"
 ) -> GreedyResult:
     """Sequential Algorithm 1 with counters on a stand-in."""
-    return greedy_coloring(
-        get_graph(key, preprocessed=preprocessed), clear_mode=clear_mode
-    )
+    with get_registry().span(
+        "experiment.greedy", dataset=key, clear_mode=clear_mode
+    ):
+        return greedy_coloring(
+            get_graph(key, preprocessed=preprocessed), clear_mode=clear_mode
+        )
 
 
 @lru_cache(maxsize=None)
@@ -72,14 +84,16 @@ def run_cpu(key: str) -> CPURunResult:
     Uses the paper-literal flag clear (Algorithm 1 lines 17–19) and
     prices memory at the paper graph's scale — see CPUModel.run.
     """
-    return CPUModel().run(
-        get_graph(key),
-        greedy=run_greedy(key, clear_mode="paper"),
-        color_array_vertices=get_spec(key).paper_nodes,
-    )
+    with get_registry().span("experiment.cpu", dataset=key):
+        return CPUModel().run(
+            get_graph(key),
+            greedy=run_greedy(key, clear_mode="paper"),
+            color_array_vertices=get_spec(key).paper_nodes,
+        )
 
 
 @lru_cache(maxsize=None)
 def run_gpu(key: str, seed: int = 0) -> GPURunResult:
     """GPU-model run (Jones–Plassmann work converted to Titan V time)."""
-    return GPUModel().run(get_graph(key), seed=seed)
+    with get_registry().span("experiment.gpu", dataset=key, seed=seed):
+        return GPUModel().run(get_graph(key), seed=seed)

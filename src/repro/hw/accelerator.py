@@ -32,7 +32,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..coloring.outcome import OutcomeMixin
 from ..graph.csr import CSRGraph
+from ..obs import get_registry, record_trace
 from .bwpe import BWPE, TaskExecution
 from .cache import HDVColorCache
 from .color_loader import ColorLoader
@@ -100,7 +102,7 @@ class AcceleratorStats:
 
 
 @dataclass
-class AcceleratorResult:
+class AcceleratorResult(OutcomeMixin):
     colors: np.ndarray
     num_colors: int
     stats: AcceleratorStats
@@ -131,6 +133,49 @@ class BitColorAccelerator:
 
     # ------------------------------------------------------------------
     def run(self, graph: CSRGraph, *, trace: bool = False) -> AcceleratorResult:
+        """Color ``graph``; records spans/counters on the active obs registry."""
+        obs = get_registry()
+        with obs.span(
+            "hw.accelerator.run",
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+            parallelism=self.config.parallelism,
+            hdc=self.flags.hdc,
+            mgr=self.flags.mgr,
+            puv=self.flags.puv,
+        ) as sp:
+            result = self._run(graph, trace=trace)
+            sp.set(
+                makespan_cycles=result.stats.makespan_cycles,
+                n_colors=result.num_colors,
+            )
+        if obs.enabled:
+            s = result.stats
+            obs.record_span(
+                "hw.accelerator.makespan", 0, s.makespan_cycles,
+                parallelism=self.config.parallelism,
+            )
+            obs.add("hw.cycles.compute", s.compute_cycles)
+            obs.add("hw.cycles.dram", s.dram_cycles)
+            obs.add("hw.cycles.stall", s.stall_cycles)
+            obs.add("hw.cycles.dram_queue", s.dram_queue_cycles)
+            obs.add("hw.cache.reads", s.cache_reads)
+            obs.add("hw.cache.writes", s.cache_writes)
+            obs.add("hw.dram.ldv_reads", s.ldv_reads)
+            obs.add("hw.dram.merged_reads", s.merged_reads)
+            obs.add("hw.dram.reads", s.dram_reads)
+            obs.add("hw.dram.writes", s.dram_writes)
+            obs.add("hw.conflicts", s.conflicts)
+            obs.add("hw.pruned_edges", s.pruned_edges)
+            obs.add("hw.tasks.hdv", s.hdv_tasks)
+            obs.add("hw.tasks.ldv", s.ldv_tasks)
+            obs.gauge("hw.cycles.makespan", s.makespan_cycles)
+            obs.gauge("hw.colors", result.num_colors)
+            if result.trace is not None:
+                record_trace(result.trace, obs)
+        return result
+
+    def _run(self, graph: CSRGraph, *, trace: bool = False) -> AcceleratorResult:
         cfg = self.config
         flags = self.flags
         n = graph.num_vertices

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..coloring.bitset import CascadedMuxCompressor, Num2BitTable, first_free_bits
 from ..graph.csr import CSRGraph
+from ..obs import get_registry
 from .config import HWConfig, OptimizationFlags
 
 __all__ = ["CyclePhase", "CycleStats", "CycleAccurateBWPE"]
@@ -108,6 +109,21 @@ class CycleAccurateBWPE:
 
     def run(self, graph: CSRGraph) -> tuple:
         """Color ``graph``; returns ``(colors, CycleStats)``."""
+        obs = get_registry()
+        with obs.span(
+            "hw.cycle_sim.run",
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+        ):
+            colors, stats = self._run(graph)
+        if obs.enabled:
+            obs.record_span("hw.cycle_sim.cycles", 0, stats.cycles)
+            obs.add("hw.cycle_sim.cycles", stats.cycles)
+            for phase, count in sorted(stats.by_phase.items()):
+                obs.add(f"hw.cycle_sim.phase.{phase}", count)
+        return colors, stats
+
+    def _run(self, graph: CSRGraph) -> tuple:
         cfg = self.config
         flags = self.flags
         n = graph.num_vertices

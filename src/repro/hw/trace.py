@@ -59,6 +59,16 @@ class ExecutionTrace:
                 return t
         return None
 
+    def to_span_records(self, *, name: str = "hw.task") -> List:
+        """The trace as cycle-clock :class:`repro.obs.SpanRecord` rows.
+
+        One span per task, so a JSON-lines export holds simulated cycle
+        intervals next to wall-clock spans in the same schema.
+        """
+        from ..obs.bridge import trace_to_records
+
+        return trace_to_records(self, name=name)
+
 
 def pe_utilization(trace: ExecutionTrace) -> Dict[int, float]:
     """Busy-cycle fraction per PE over the whole makespan."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..coloring.bitset import first_free_colors_u64
+from ..obs import get_registry
 
 __all__ = [
     "WORD_BITS",
@@ -150,6 +151,7 @@ def scatter_or_colors(
     if out is None:
         out = np.zeros((num_rows, num_words), dtype=np.uint64)
     live = colors > 0
+    words_ored = 0
     if live.any():
         idx = colors[live] - 1
         if idx.max() >= num_words * WORD_BITS:
@@ -157,10 +159,16 @@ def scatter_or_colors(
                 f"color {int(idx.max()) + 1} does not fit in {num_words} state words"
             )
         onehot = _ONE << (idx & 63).astype(np.uint64)
+        words_ored = int(onehot.size)
         if num_words == 1:
             np.bitwise_or.at(out[:, 0], rows[live], onehot)
         else:
             np.bitwise_or.at(out, (rows[live], idx >> 6), onehot)
+    obs = get_registry()
+    if obs.enabled:
+        obs.add("kernels.scatter_or.calls")
+        obs.add("kernels.scatter_or.words_ored", words_ored)
+        obs.observe("kernels.batch_rows", num_rows)
     return out
 
 
@@ -177,6 +185,9 @@ def first_free_colors_packed(states: np.ndarray) -> np.ndarray:
     states = np.ascontiguousarray(states, dtype=np.uint64)
     if states.ndim != 2:
         raise ValueError("states must be a (rows, words) matrix")
+    obs = get_registry()
+    if obs.enabled:
+        obs.add("kernels.first_free.rows", states.shape[0])
     if states.shape[1] == 1:
         return first_free_colors_u64(states[:, 0])
     open_word = states != _FULL_WORD

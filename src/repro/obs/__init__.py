@@ -1,0 +1,62 @@
+"""Zero-dependency observability: spans, counters/gauges/histograms, exporters.
+
+The instrumentation story in one example::
+
+    from repro.obs import Registry, use_registry, ConsoleExporter
+
+    reg = Registry()                  # fresh, enabled
+    with use_registry(reg):           # route library instrumentation here
+        repro.color(graph, algorithm="bitwise", backend="vectorized")
+    reg.export(ConsoleExporter())     # or JsonlExporter("run.jsonl")
+
+Library code is instrumented against the process-global default registry
+(:func:`get_registry`), which starts **disabled** — a true no-op — so
+nothing is paid until a caller opts in via :func:`enable`,
+:func:`set_registry` or :func:`use_registry`.  ``repro.color(...,
+obs=...)`` and the CLI ``--obs`` flag wrap this for the common cases.
+
+Simulated-cycle data (accelerator traces, cycle_sim phases) shares the
+span/counter formats through :mod:`repro.obs.bridge`, so one exported
+JSON-lines artifact captures wall-clock and modelled cycles together.
+"""
+
+from .bridge import record_trace, trace_to_records
+from .core import (
+    CYCLE_CLOCK,
+    WALL_CLOCK,
+    HistogramStat,
+    Registry,
+    SpanRecord,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .exporters import (
+    ConsoleExporter,
+    JsonlExporter,
+    MemoryExporter,
+    read_jsonl,
+    snapshot_from_records,
+)
+
+__all__ = [
+    "CYCLE_CLOCK",
+    "WALL_CLOCK",
+    "ConsoleExporter",
+    "HistogramStat",
+    "JsonlExporter",
+    "MemoryExporter",
+    "Registry",
+    "SpanRecord",
+    "disable",
+    "enable",
+    "get_registry",
+    "record_trace",
+    "read_jsonl",
+    "set_registry",
+    "snapshot_from_records",
+    "trace_to_records",
+    "use_registry",
+]

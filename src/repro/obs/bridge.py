@@ -1,0 +1,71 @@
+"""Bridge from the accelerator's execution traces to the span format.
+
+``BitColorAccelerator.run(..., trace=True)`` produces an
+:class:`~repro.hw.trace.ExecutionTrace`: per-vertex task records in
+simulated cycles.  This module converts those into
+:class:`~repro.obs.core.SpanRecord` entries on the ``cycles`` clock, so
+the same JSON-lines artifact that holds wall-clock spans and counters
+also carries the simulated schedule — one format for both time bases.
+
+The per-task attrs keep everything the Gantt/critical-path views need
+(vertex, PE, stall, queue delay, conflict partners), so an exported
+artifact can be re-analysed offline without the live trace object.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .core import CYCLE_CLOCK, Registry, SpanRecord, get_registry
+
+__all__ = ["record_trace", "trace_to_records"]
+
+
+def trace_to_records(trace, *, name: str = "hw.task") -> List[SpanRecord]:
+    """Convert an ``ExecutionTrace`` into cycle-clock span records.
+
+    ``trace`` is duck-typed (anything with a ``tasks`` list of objects
+    carrying ``vertex``/``pe``/``start``/``finish``/``stall``/
+    ``queue_delay``/``deferred_on``), so this module stays free of
+    hardware-model imports.
+    """
+    records = []
+    for i, t in enumerate(sorted(trace.tasks, key=lambda t: (t.start, t.vertex))):
+        records.append(
+            SpanRecord(
+                name=name,
+                start=float(t.start),
+                end=float(t.finish),
+                span_id=i + 1,
+                parent_id=None,
+                depth=0,
+                clock=CYCLE_CLOCK,
+                attrs={
+                    "vertex": int(t.vertex),
+                    "pe": int(t.pe),
+                    "stall": int(t.stall),
+                    "queue_delay": int(t.queue_delay),
+                    "deferred_on": [int(v) for v in t.deferred_on],
+                },
+            )
+        )
+    return records
+
+
+def record_trace(trace, registry: Optional[Registry] = None, *, name: str = "hw.task") -> int:
+    """Record every task of ``trace`` into ``registry`` (default: global).
+
+    Returns the number of spans recorded (0 when the registry is
+    disabled).  Span ids are re-assigned by the registry so they nest
+    consistently with whatever wall-clock spans it already holds.
+    """
+    reg = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return 0
+    count = 0
+    for rec in trace_to_records(trace, name=name):
+        reg.record_span(
+            rec.name, rec.start, rec.end, clock=CYCLE_CLOCK, **rec.attrs
+        )
+        count += 1
+    return count

@@ -1,0 +1,150 @@
+"""Pluggable sinks for a collected :class:`~repro.obs.core.Registry`.
+
+Three exporters, one shared record schema (``Registry.to_records``):
+
+* :class:`JsonlExporter` — one JSON object per line.  The artifact is
+  self-describing: ``{"type": "span" | "counter" | "gauge" | "histogram",
+  ...}``, with spans carrying their clock (``wall`` seconds or simulated
+  ``cycles``) so one file holds both.  :func:`read_jsonl` and
+  :func:`snapshot_from_records` invert it losslessly — the round trip is
+  tested.
+* :class:`ConsoleExporter` — a human-readable table: the span tree
+  indented by depth, then counters/gauges/histograms aligned.
+* :class:`MemoryExporter` — keeps the records in memory; the test sink.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .core import CYCLE_CLOCK, Registry
+
+__all__ = [
+    "ConsoleExporter",
+    "JsonlExporter",
+    "MemoryExporter",
+    "read_jsonl",
+    "snapshot_from_records",
+]
+
+
+class MemoryExporter:
+    """Collects the registry's records into ``self.records`` (for tests)."""
+
+    def __init__(self):
+        self.records: List[Dict[str, object]] = []
+
+    def export(self, registry: Registry) -> List[Dict[str, object]]:
+        self.records = registry.to_records()
+        return self.records
+
+
+class JsonlExporter:
+    """Writes the registry as a JSON-lines file; ``export`` returns the path."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def export(self, registry: Registry) -> Path:
+        lines = [json.dumps(rec, sort_keys=True) for rec in registry.to_records()]
+        self.path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return self.path
+
+
+class ConsoleExporter:
+    """Renders the registry as an aligned text report.
+
+    ``export`` writes to the configured stream (default stdout) and also
+    returns the rendered string so callers and tests can inspect it.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def export(self, registry: Registry) -> str:
+        out = io.StringIO()
+        spans = registry.spans
+        if spans:
+            out.write("spans:\n")
+            width = max(len("  " * s.depth + s.name) for s in spans) + 2
+            for s in sorted(spans, key=lambda s: s.span_id):
+                label = "  " * s.depth + s.name
+                if s.clock == CYCLE_CLOCK:
+                    timing = f"{s.duration:12.0f} cycles"
+                else:
+                    timing = f"{s.duration * 1e3:12.3f} ms"
+                attrs = (
+                    " ".join(f"{k}={v}" for k, v in sorted(s.attrs.items()))
+                    if s.attrs
+                    else ""
+                )
+                out.write(f"  {label:<{width}}{timing}  {attrs}".rstrip() + "\n")
+        if registry.counters:
+            out.write("counters:\n")
+            width = max(len(k) for k in registry.counters) + 2
+            for name in sorted(registry.counters):
+                out.write(f"  {name:<{width}}{registry.counters[name]:>14}\n")
+        if registry.gauges:
+            out.write("gauges:\n")
+            width = max(len(k) for k in registry.gauges) + 2
+            for name in sorted(registry.gauges):
+                out.write(f"  {name:<{width}}{registry.gauges[name]:>14}\n")
+        if registry.histograms:
+            out.write("histograms:\n")
+            width = max(len(k) for k in registry.histograms) + 2
+            for name in sorted(registry.histograms):
+                h = registry.histograms[name]
+                out.write(
+                    f"  {name:<{width}}count={h.count} mean={h.mean:.2f} "
+                    f"min={h.min} max={h.max}\n"
+                )
+        text = out.getvalue() or "(empty registry)\n"
+        (self.stream or sys.stdout).write(text)
+        return text
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read a JSON-lines artifact back into its record dicts."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def snapshot_from_records(records: List[Dict[str, object]]) -> Dict[str, object]:
+    """Rebuild a ``Registry.snapshot()``-shaped dict from exported records.
+
+    ``snapshot_from_records(read_jsonl(JsonlExporter(p).export(reg)))``
+    equals ``reg.snapshot()`` — the round-trip guarantee the tests pin.
+    """
+    snapshot: Dict[str, object] = {
+        "spans": [],
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "span":
+            span = {k: v for k, v in rec.items() if k != "type"}
+            snapshot["spans"].append(span)
+        elif kind == "counter":
+            snapshot["counters"][rec["name"]] = rec["value"]
+        elif kind == "gauge":
+            snapshot["gauges"][rec["name"]] = rec["value"]
+        elif kind == "histogram":
+            snapshot["histograms"][rec["name"]] = {
+                "count": rec["count"],
+                "total": rec["total"],
+                "min": rec["min"],
+                "max": rec["max"],
+            }
+        else:
+            raise ValueError(f"unknown record type {kind!r}")
+    return snapshot

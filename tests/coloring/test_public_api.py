@@ -1,0 +1,139 @@
+"""Public-API snapshot: the registry and the package surface cannot drift.
+
+Three invariants:
+
+* ``repro.coloring.__all__`` is exactly the snapshot below — adding or
+  removing a public name is a deliberate act that updates this test;
+* every name an :class:`AlgorithmSpec` claims as its backing export is
+  really public (``exports`` ⊆ ``__all__``) and really importable;
+* the CLI's ``--algorithm`` choices are exactly the registered names, so
+  ``repro.color`` and ``bitcolor-repro color`` can never disagree.
+"""
+
+import repro
+import repro.coloring as coloring
+from repro.cli import build_parser
+from repro.coloring import ALGORITHMS, ColoringOutcome, algorithm_names
+
+PUBLIC_API_SNAPSHOT = {
+    # exact solvers / bounds
+    "chromatic_number",
+    "exact_coloring",
+    "greedy_clique_lower_bound",
+    # bitset primitives
+    "CascadedMuxCompressor",
+    "Num2BitTable",
+    "bits_or",
+    "bits_to_num",
+    "first_free_bits",
+    "first_free_color",
+    "num_to_bits",
+    "popcount",
+    # algorithms + results
+    "BitwiseResult",
+    "bitwise_greedy_coloring",
+    "dsatur_coloring",
+    "GreedyResult",
+    "StageCounters",
+    "greedy_coloring",
+    "greedy_coloring_fast",
+    "GunrockResult",
+    "default_round_cap",
+    "gunrock_coloring",
+    "JPResult",
+    "JPRound",
+    "jones_plassmann_coloring",
+    "MISColoringResult",
+    "luby_mis",
+    "mis_coloring",
+    # balanced / incremental / ordering / recolor extensions
+    "balance_coloring",
+    "balance_ratio",
+    "balanced_greedy_coloring",
+    "IncrementalColoring",
+    "IncrementalStats",
+    "ORDERINGS",
+    "compare_orderings",
+    "ordering",
+    "RecolorResult",
+    "iterated_greedy",
+    "kempe_chain",
+    "kempe_reduce",
+    # outcome protocol + registry
+    "ColoringOutcome",
+    "OutcomeMixin",
+    "PlainColoringResult",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    # verification
+    "UNCOLORED",
+    "ColoringError",
+    "assert_proper_coloring",
+    "color_class_sizes",
+    "find_conflicts",
+    "is_proper_coloring",
+    "num_colors",
+}
+
+
+def test_all_matches_snapshot():
+    assert set(coloring.__all__) == PUBLIC_API_SNAPSHOT
+
+
+def test_all_names_are_importable_and_unique():
+    assert len(coloring.__all__) == len(set(coloring.__all__))
+    for name in coloring.__all__:
+        assert hasattr(coloring, name), f"{name} in __all__ but not importable"
+
+
+def test_registry_exports_are_public():
+    for spec in ALGORITHMS.values():
+        assert spec.exports, f"{spec.name} declares no backing exports"
+        for name in spec.exports:
+            assert name in coloring.__all__, (
+                f"registry algorithm {spec.name!r} claims export {name!r} "
+                "which is not in repro.coloring.__all__"
+            )
+
+
+def test_registered_names_snapshot():
+    assert algorithm_names() == (
+        "bitwise",
+        "greedy",
+        "dsatur",
+        "jp",
+        "luby",
+        "gunrock",
+    )
+
+
+def test_cli_choices_match_registry():
+    parser = build_parser()
+    # Find the color subparser's --algorithm choices.
+    subparsers = next(
+        a for a in parser._actions if hasattr(a, "choices") and "color" in (a.choices or {})
+    )
+    color_parser = subparsers.choices["color"]
+    algo_action = next(
+        a for a in color_parser._actions if "--algorithm" in a.option_strings
+    )
+    assert tuple(algo_action.choices) == algorithm_names()
+
+
+def test_top_level_facade_is_exported():
+    assert "color" in repro.__all__
+    assert callable(repro.color)
+
+
+def test_outcome_protocol_is_runtime_checkable():
+    import numpy as np
+
+    from repro.coloring import PlainColoringResult
+
+    out = PlainColoringResult.from_colors(np.array([1, 2, 1]), algorithm="x")
+    assert isinstance(out, ColoringOutcome)
+    assert out.n_colors == 2
+    assert out.as_dict()["n_colors"] == 2

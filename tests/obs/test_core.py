@@ -1,0 +1,212 @@
+"""Core registry semantics: disabled no-op, span nesting, metrics."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    CYCLE_CLOCK,
+    WALL_CLOCK,
+    Registry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.core import NULL_SPAN
+
+
+class TestDisabledNoOp:
+    def test_disabled_span_is_shared_null_singleton(self):
+        reg = Registry(enabled=False)
+        sp = reg.span("anything", key="value")
+        assert sp is NULL_SPAN
+        assert reg.span("other") is sp
+
+    def test_null_span_context_and_set_are_inert(self):
+        reg = Registry(enabled=False)
+        with reg.span("outer") as sp:
+            sp.set(attr=1)
+            with reg.span("inner"):
+                pass
+        assert reg.spans == []
+
+    def test_disabled_metrics_collect_nothing(self):
+        reg = Registry(enabled=False)
+        reg.add("c", 5)
+        reg.gauge("g", 1.5)
+        reg.observe("h", 3)
+        assert reg.record_span("s", 0, 10) is None
+        assert reg.counters == {}
+        assert reg.gauges == {}
+        assert reg.histograms == {}
+        assert reg.spans == []
+
+    def test_global_default_starts_disabled(self):
+        assert get_registry().enabled is False
+
+
+class TestSpans:
+    def test_nesting_parent_ids_and_depth(self):
+        reg = Registry()
+        with reg.span("outer"):
+            with reg.span("middle"):
+                with reg.span("inner"):
+                    pass
+        by_name = {s.name: s for s in reg.spans}
+        outer, middle, inner = by_name["outer"], by_name["middle"], by_name["inner"]
+        assert outer.parent_id is None and outer.depth == 0
+        assert middle.parent_id == outer.span_id and middle.depth == 1
+        assert inner.parent_id == middle.span_id and inner.depth == 2
+        # Ids are assigned at entry: parents before children.
+        assert outer.span_id < middle.span_id < inner.span_id
+
+    def test_children_recorded_before_parents(self):
+        reg = Registry()
+        with reg.span("parent"):
+            with reg.span("child"):
+                pass
+        assert [s.name for s in reg.spans] == ["child", "parent"]
+
+    def test_siblings_share_parent(self):
+        reg = Registry()
+        with reg.span("parent"):
+            with reg.span("a"):
+                pass
+            with reg.span("b"):
+                pass
+        by_name = {s.name: s for s in reg.spans}
+        assert by_name["a"].parent_id == by_name["parent"].span_id
+        assert by_name["b"].parent_id == by_name["parent"].span_id
+
+    def test_span_times_monotonic(self):
+        reg = Registry()
+        with reg.span("t"):
+            pass
+        (s,) = reg.spans
+        assert s.clock == WALL_CLOCK
+        assert s.end >= s.start
+        assert s.duration == s.end - s.start
+
+    def test_span_attrs_and_set(self):
+        reg = Registry()
+        with reg.span("t", fixed=1) as sp:
+            sp.set(late=2)
+        (s,) = reg.spans
+        assert s.attrs == {"fixed": 1, "late": 2}
+
+    def test_span_error_attr_on_exception(self):
+        reg = Registry()
+        with pytest.raises(ValueError):
+            with reg.span("boom"):
+                raise ValueError("nope")
+        (s,) = reg.spans
+        assert s.attrs["error"] == "ValueError"
+
+    def test_timed_decorator(self):
+        reg = Registry()
+
+        @reg.timed("named")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert [s.name for s in reg.spans] == ["named"]
+
+    def test_timed_decorator_default_name(self):
+        reg = Registry()
+
+        @reg.timed()
+        def g():
+            return 7
+
+        assert g() == 7
+        assert reg.spans[0].name.endswith("g")
+
+    def test_record_span_cycle_clock(self):
+        reg = Registry()
+        rec = reg.record_span("sim", 0, 1234, vertex=7)
+        assert rec.clock == CYCLE_CLOCK
+        assert rec.duration == 1234
+        assert rec.attrs == {"vertex": 7}
+        assert reg.spans == [rec]
+
+    def test_thread_local_stacks_do_not_cross_nest(self):
+        reg = Registry()
+        started = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with reg.span("thread"):
+                started.set()
+                release.wait(timeout=5)
+
+        t = threading.Thread(target=worker)
+        with reg.span("main"):
+            t.start()
+            started.wait(timeout=5)
+            release.set()
+            t.join()
+        by_name = {s.name: s for s in reg.spans}
+        # The worker's span opened while "main" was live on another thread,
+        # but must not have picked it up as a parent.
+        assert by_name["thread"].parent_id is None
+        assert by_name["main"].parent_id is None
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        reg = Registry()
+        reg.add("hits")
+        reg.add("hits", 4)
+        assert reg.counters == {"hits": 5}
+
+    def test_gauge_keeps_last(self):
+        reg = Registry()
+        reg.gauge("level", 1)
+        reg.gauge("level", 9)
+        assert reg.gauges == {"level": 9}
+
+    def test_histogram_summary(self):
+        reg = Registry()
+        for v in (2, 8, 5):
+            reg.observe("h", v)
+        h = reg.histograms["h"]
+        assert (h.count, h.total, h.min, h.max) == (3, 15.0, 2.0, 8.0)
+        assert h.mean == 5.0
+
+    def test_clear_keeps_enabled_flag(self):
+        reg = Registry()
+        reg.add("c")
+        with reg.span("s"):
+            pass
+        reg.clear()
+        assert reg.spans == [] and reg.counters == {}
+        assert reg.enabled is True
+
+
+class TestGlobalRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        original = get_registry()
+        mine = Registry()
+        with use_registry(mine):
+            assert get_registry() is mine
+        assert get_registry() is original
+
+    def test_use_registry_restores_on_error(self):
+        original = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(Registry()):
+                raise RuntimeError
+        assert get_registry() is original
+
+    def test_set_enable_disable_roundtrip(self):
+        original = get_registry()
+        try:
+            mine = set_registry(Registry(enabled=False))
+            assert get_registry() is mine
+            assert enable() is mine and mine.enabled
+            assert disable() is mine and not mine.enabled
+        finally:
+            set_registry(original)

@@ -1,0 +1,79 @@
+"""Exporter behaviour, pinned around the JSON-lines round-trip guarantee."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    ConsoleExporter,
+    JsonlExporter,
+    MemoryExporter,
+    Registry,
+    read_jsonl,
+    snapshot_from_records,
+)
+
+
+def populated_registry() -> Registry:
+    reg = Registry()
+    with reg.span("outer", graph="g"):
+        with reg.span("inner") as sp:
+            sp.set(rounds=3)
+    reg.record_span("sim.task", 10, 250, vertex=4, pe=1)
+    reg.add("edges", 120)
+    reg.add("edges", 30)
+    reg.gauge("colors", 7)
+    reg.observe("batch", 16)
+    reg.observe("batch", 48)
+    return reg
+
+
+def test_jsonl_round_trip_is_lossless(tmp_path):
+    reg = populated_registry()
+    path = JsonlExporter(tmp_path / "run.jsonl").export(reg)
+    assert snapshot_from_records(read_jsonl(path)) == reg.snapshot()
+
+
+def test_jsonl_lines_are_valid_typed_json(tmp_path):
+    reg = populated_registry()
+    path = JsonlExporter(tmp_path / "run.jsonl").export(reg)
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(reg.to_records())
+    for line in lines:
+        rec = json.loads(line)
+        assert rec["type"] in ("span", "counter", "gauge", "histogram")
+
+
+def test_jsonl_empty_registry_writes_empty_file(tmp_path):
+    path = JsonlExporter(tmp_path / "empty.jsonl").export(Registry())
+    assert path.read_text() == ""
+    assert read_jsonl(path) == []
+
+
+def test_memory_exporter_matches_to_records():
+    reg = populated_registry()
+    sink = MemoryExporter()
+    records = reg.export(sink)
+    assert records is sink.records
+    assert records == reg.to_records()
+
+
+def test_console_exporter_renders_tree_and_metrics():
+    reg = populated_registry()
+    stream = io.StringIO()
+    text = ConsoleExporter(stream).export(reg)
+    assert stream.getvalue() == text
+    assert "outer" in text and "  inner" in text  # indentation by depth
+    assert "cycles" in text  # the cycle-clock span renders in cycles
+    assert "edges" in text and "colors" in text and "batch" in text
+
+
+def test_console_exporter_empty_registry():
+    stream = io.StringIO()
+    assert ConsoleExporter(stream).export(Registry()) == "(empty registry)\n"
+
+
+def test_snapshot_from_records_rejects_unknown_type():
+    with pytest.raises(ValueError, match="unknown record type"):
+        snapshot_from_records([{"type": "mystery"}])

@@ -1,0 +1,168 @@
+"""End-to-end observability: one artifact, both clocks (acceptance test).
+
+``repro.color(graph, "bitwise", backend="hw", trace=True, obs=path)``
+must emit a JSON-lines file that carries wall-clock spans, simulated
+cycle-clock spans from the accelerator trace, and the hw cycle/cache/DRAM
+counters — and the file must parse back into a registry snapshot.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.graph import powerlaw_cluster
+from repro.obs import (
+    Registry,
+    read_jsonl,
+    snapshot_from_records,
+    use_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster(300, 4, 0.3, seed=9, name="obs-it")
+
+
+def test_instrumented_hw_run_emits_dual_clock_artifact(graph, tmp_path):
+    path = tmp_path / "run.jsonl"
+    out = repro.color(
+        graph, "bitwise", backend="hw", parallelism=4, trace=True, obs=path
+    )
+    assert out.n_colors > 0
+    records = read_jsonl(path)
+
+    spans = [r for r in records if r["type"] == "span"]
+    counters = {r["name"]: r["value"] for r in records if r["type"] == "counter"}
+    gauges = {r["name"]: r["value"] for r in records if r["type"] == "gauge"}
+
+    # Wall-clock spans: the facade wraps the accelerator run.
+    wall = {s["name"] for s in spans if s["clock"] == "wall"}
+    assert {"repro.color", "hw.accelerator.run"} <= wall
+    # Cycle-clock spans: one per vertex task from the execution trace.
+    tasks = [s for s in spans if s["clock"] == "cycles" and s["name"] == "hw.task"]
+    assert len(tasks) == graph.num_vertices
+    assert all(s["end"] >= s["start"] for s in tasks)
+    assert {"vertex", "pe", "stall", "queue_delay"} <= set(tasks[0]["attrs"])
+
+    # hw counters: cycles, cache, DRAM all present and sane.
+    for name in (
+        "hw.cycles.compute",
+        "hw.cycles.dram",
+        "hw.cycles.stall",
+        "hw.cache.reads",
+        "hw.dram.reads",
+        "hw.tasks.hdv",
+    ):
+        assert name in counters, f"missing counter {name}"
+    assert counters["hw.cycles.compute"] > 0
+    assert gauges["hw.colors"] == out.n_colors
+    assert gauges["repro.color.n_colors"] == out.n_colors
+
+    # Round trip: the artifact parses back into a full snapshot.
+    snap = snapshot_from_records(records)
+    assert snap["counters"] == counters
+    assert len(snap["spans"]) == len(spans)
+
+
+def test_artifact_round_trip_equals_live_registry(graph, tmp_path):
+    """Registry → JSONL → snapshot is lossless for a real instrumented run."""
+    from repro.obs import JsonlExporter
+
+    reg = Registry()
+    out = repro.color(
+        graph, "bitwise", backend="hw", parallelism=4, trace=True, obs=reg
+    )
+    assert out.n_colors > 0
+    path = JsonlExporter(tmp_path / "live.jsonl").export(reg)
+    assert snapshot_from_records(read_jsonl(path)) == reg.snapshot()
+
+
+def test_software_backends_share_counter_namespace(graph):
+    """Kernel-layer counters appear under vectorized software runs too."""
+    reg = Registry()
+    repro.color(graph, "bitwise", obs=reg)  # default vectorized backend
+    assert reg.counters["kernels.scatter_or.calls"] > 0
+    assert reg.counters["kernels.first_free.rows"] == graph.num_vertices
+    assert "kernels.batch_rows" in reg.histograms
+    assert reg.counters["coloring.bitwise.stage1_scan_ops"] == graph.num_vertices
+
+
+def test_jp_round_spans_nest_under_algorithm_span(graph):
+    reg = Registry()
+    repro.color(graph, "jp", seed=1, obs=reg)
+    by_name = {}
+    for s in reg.spans:
+        by_name.setdefault(s.name, []).append(s)
+    (jp,) = by_name["coloring.jp"]
+    rounds = by_name["coloring.jp.round"]
+    assert rounds and all(r.parent_id == jp.span_id for r in rounds)
+    assert [r.attrs["round"] for r in rounds] == list(range(len(rounds)))
+    assert reg.counters["coloring.jp.rounds"] == len(rounds)
+
+
+def test_cycle_sim_counters(graph):
+    from repro.hw import HWConfig
+    from repro.hw.cycle_sim import CycleAccurateBWPE
+
+    reg = Registry()
+    with use_registry(reg):
+        colors, stats = CycleAccurateBWPE(HWConfig(parallelism=1)).run(graph)
+    assert int(reg.counters["hw.cycle_sim.cycles"]) == stats.cycles
+    phase_total = sum(
+        v for k, v in reg.counters.items() if k.startswith("hw.cycle_sim.phase.")
+    )
+    assert int(phase_total) == stats.cycles
+    cyc = [s for s in reg.spans if s.name == "hw.cycle_sim.cycles"]
+    assert cyc and cyc[0].clock == "cycles" and cyc[0].duration == stats.cycles
+
+
+def test_trace_to_span_records_method(graph):
+    from repro.hw import BitColorAccelerator, HWConfig
+
+    res = BitColorAccelerator(HWConfig(parallelism=2)).run(graph, trace=True)
+    records = res.trace.to_span_records()
+    assert len(records) == graph.num_vertices
+    assert all(r.clock == "cycles" for r in records)
+    # Sorted by start time; json-safe attrs.
+    starts = [r.start for r in records]
+    assert starts == sorted(starts)
+    json.dumps([r.to_dict() for r in records])
+
+
+def test_cli_color_obs_flag(graph, tmp_path):
+    from repro.cli import main
+    from repro.graph import save_npz
+
+    gpath = tmp_path / "g.npz"
+    save_npz(graph, gpath)
+    opath = tmp_path / "cli.jsonl"
+    rc = main(
+        [
+            "color",
+            "--input", str(gpath),
+            "--algorithm", "bitwise",
+            "--backend", "hw",
+            "--obs", str(opath),
+        ]
+    )
+    assert rc == 0
+    records = read_jsonl(opath)
+    kinds = {r["type"] for r in records}
+    assert "span" in kinds and "counter" in kinds
+
+
+def test_cli_simulate_obs_flag(graph, tmp_path):
+    from repro.cli import main
+    from repro.graph import save_npz
+
+    gpath = tmp_path / "g.npz"
+    save_npz(graph, gpath)
+    opath = tmp_path / "sim.jsonl"
+    rc = main(["simulate", "--input", str(gpath), "-p", "4", "--obs", str(opath)])
+    assert rc == 0
+    records = read_jsonl(opath)
+    clocks = {r["clock"] for r in records if r["type"] == "span"}
+    assert {"wall", "cycles"} <= clocks

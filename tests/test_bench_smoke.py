@@ -1,9 +1,10 @@
 """Tier-1 wrapper around ``scripts/bench_smoke.py``.
 
-Keeps the kernel-layer speedup honest on every test run: the vectorized
-bitwise backend must stay within 2x of the speedup recorded in the
-checked-in ``BENCH_kernels.json``.  The smoke graph is tiny (1200
-vertices) so this costs tens of milliseconds.
+Keeps two budgets honest on every test run: the vectorized bitwise
+backend must stay within 2x of the speedup recorded in the checked-in
+``BENCH_kernels.json``, and the disabled-observability overhead on the
+same kernel run must stay within 5 % of the recorded baseline time.  The
+smoke graph is tiny (1200 vertices) so this costs tens of milliseconds.
 """
 
 import json
@@ -11,7 +12,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import check_smoke, load_results, run_smoke
+from repro.experiments import (
+    check_obs_overhead,
+    check_smoke,
+    load_results,
+    run_smoke,
+)
 from repro.experiments.kernel_bench import DEFAULT_RESULT_PATH
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -51,6 +57,16 @@ def test_smoke_script_main():
     assert mod.main(["--repeats", "2"]) == 0
     # An absurd factor<1 demand must fail (current can't beat baseline*10).
     assert mod.main(["--factor", "0.01"]) == 1
+
+
+def test_obs_disabled_overhead():
+    """Instrumented-but-disabled kernels must stay within 5% of baseline."""
+    baseline = load_results()
+    ok, current, threshold = check_obs_overhead(baseline, limit=1.05, repeats=7)
+    assert ok, (
+        f"disabled observability overhead too high: smoke time "
+        f"{current * 1e3:.3f} ms exceeds threshold {threshold * 1e3:.3f} ms"
+    )
 
 
 def test_run_smoke_shape():

@@ -1,0 +1,127 @@
+"""``repro.color`` facade: parity with direct calls, option validation.
+
+The facade must be a pure front — same colors and the same instrumented
+stage counters as calling each algorithm directly — plus the argument
+validation the registry's capability flags promise.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.coloring import (
+    ALGORITHMS,
+    bitwise_greedy_coloring,
+    dsatur_coloring,
+    greedy_coloring,
+    gunrock_coloring,
+    jones_plassmann_coloring,
+    mis_coloring,
+)
+from repro.graph import powerlaw_cluster
+from repro.obs import Registry, use_registry
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster(400, 5, 0.3, seed=11, name="facade")
+
+
+SEED = 3
+
+DIRECT = {
+    "bitwise": lambda g: bitwise_greedy_coloring(g, backend="vectorized"),
+    "greedy": lambda g: greedy_coloring(g),
+    "dsatur": lambda g: dsatur_coloring(g),
+    "jp": lambda g: jones_plassmann_coloring(g, seed=SEED, backend="vectorized"),
+    "luby": lambda g: mis_coloring(g, seed=SEED, backend="vectorized"),
+    "gunrock": lambda g: gunrock_coloring(g, seed=SEED),
+}
+
+FACADE_OPTS = {
+    "jp": {"seed": SEED},
+    "luby": {"seed": SEED},
+    "gunrock": {"seed": SEED},
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_facade_matches_direct_call(graph, name):
+    """Same colors AND same instrumented counters, algorithm by algorithm."""
+    direct_reg = Registry()
+    with use_registry(direct_reg):
+        direct = DIRECT[name](graph)
+    direct_colors = direct if isinstance(direct, np.ndarray) else direct.colors
+
+    facade_reg = Registry()
+    out = repro.color(graph, name, obs=facade_reg, **FACADE_OPTS.get(name, {}))
+
+    assert np.array_equal(out.colors, direct_colors)
+    assert out.n_colors > 0
+    # The facade adds its own gauge; the algorithm-level counters must match.
+    facade_counters = dict(facade_reg.counters)
+    assert facade_counters == dict(direct_reg.counters)
+    assert facade_reg.gauges["repro.color.n_colors"] == out.n_colors
+    # The outer span wraps the run.
+    assert facade_reg.spans[-1].name == "repro.color"
+    assert facade_reg.spans[-1].attrs["algorithm"] == name
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_facade_returns_outcome_surface(graph, name):
+    from repro.coloring import ColoringOutcome
+
+    out = repro.color(graph, name, **FACADE_OPTS.get(name, {}))
+    assert isinstance(out, ColoringOutcome)
+    d = out.as_dict()
+    assert d["n_colors"] == out.n_colors
+    assert d["colors"] == list(out.colors)
+
+
+def test_unknown_algorithm_lists_registered_names(graph):
+    with pytest.raises(KeyError, match="bitwise"):
+        repro.color(graph, "nope")
+
+
+def test_invalid_backend_rejected(graph):
+    with pytest.raises(ValueError, match="does not support backend"):
+        repro.color(graph, "greedy", backend="vectorized")
+    with pytest.raises(ValueError, match="allowed"):
+        repro.color(graph, "jp", backend="hw")
+
+
+def test_seed_rejected_for_deterministic_algorithms(graph):
+    with pytest.raises(TypeError, match="deterministic"):
+        repro.color(graph, "bitwise", seed=1)
+
+
+def test_hw_backend_rejects_unknown_opts(graph):
+    with pytest.raises(TypeError, match="backend='hw'"):
+        repro.color(graph, "bitwise", backend="hw", order=[1, 2])
+
+
+def test_hw_backend_matches_software(graph):
+    sw = repro.color(graph, "bitwise")
+    hw = repro.color(graph, "bitwise", backend="hw", parallelism=4)
+    assert np.array_equal(sw.colors, hw.colors)
+    assert hw.n_colors == sw.n_colors
+
+
+def test_facade_does_not_touch_ambient_registry(graph):
+    from repro.obs import get_registry
+
+    ambient = get_registry()
+    before = dict(ambient.counters)
+    repro.color(graph, "bitwise", obs=Registry())
+    assert get_registry() is ambient
+    assert dict(ambient.counters) == before
+
+
+def test_recolor_num_colors_deprecated(graph):
+    from repro.coloring import greedy_coloring_fast, kempe_reduce
+
+    res = kempe_reduce(graph, greedy_coloring_fast(graph))
+    with pytest.warns(DeprecationWarning, match="num_colors"):
+        assert res.num_colors == res.colors_after
+    # The canonical spellings stay silent.
+    assert res.n_colors == res.colors_after
