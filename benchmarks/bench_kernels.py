@@ -24,6 +24,21 @@ def _render(results):
         f"{smoke['python_s'] * 1e3:9.1f}ms {smoke['vectorized_s'] * 1e3:9.1f}ms "
         f"{smoke['baseline_speedup']:6.1f}x"
     )
+    scaling = results.get("scaling")
+    if scaling:
+        lines.append(
+            f"\n=== Worker scaling: backend=parallel on {scaling['dataset']} "
+            f"({scaling['num_vertices']} vertices, {scaling['num_edges']} edge "
+            f"slots, host has {scaling['host_cpus']} CPU(s)) ==="
+        )
+        lines.append(
+            f"vectorized reference: {scaling['vectorized_s'] * 1e3:.1f}ms"
+        )
+        for e in scaling["entries"]:
+            lines.append(
+                f"workers={e['workers']}: {e['seconds'] * 1e3:9.1f}ms "
+                f"({e['speedup_vs_vectorized']:.2f}x vs vectorized)"
+            )
     return "\n".join(lines)
 
 

@@ -12,6 +12,8 @@ observability in the same breath.
 
     out = repro.color(graph)                                  # bitwise, fast path
     out = repro.color(graph, algorithm="jp", seed=1)          # GPU-style rounds
+    out = repro.color(graph, backend="parallel", workers=4)   # multi-process
+                                                              # shard pool
     out = repro.color(graph, algorithm="bitwise", backend="hw",
                       parallelism=16, obs="run.jsonl")        # accelerator model,
                                                               # instrumented
@@ -55,8 +57,9 @@ def color(
     backend:
         Backend selector for algorithms that have one (checked against
         the spec's capability flags; ``None`` picks the spec default).
-        ``"bitwise"`` additionally accepts ``backend="hw"`` to run the
-        full BitColor accelerator model.
+        ``"bitwise"`` additionally accepts ``backend="parallel"`` (the
+        multi-process shard pool, tuned with ``workers=``) and
+        ``backend="hw"`` (the full BitColor accelerator model).
     obs:
         ``None`` — instrument into the ambient default registry (no-op
         unless enabled); a :class:`~repro.obs.Registry` — instrument into

@@ -84,16 +84,21 @@ def cmd_color(args) -> int:
     from .coloring import assert_proper_coloring, get_algorithm
 
     g = _load_graph(args)
+    backend = args.backend
+    if args.workers is not None and backend is None and args.algorithm == "bitwise":
+        backend = "parallel"
     spec = get_algorithm(args.algorithm)
     opts = {}
     if spec.supports_seed:
         opts["seed"] = args.seed
-    if args.algorithm == "bitwise" and args.backend != "hw":
+    if args.algorithm == "bitwise" and backend != "hw":
         opts["prune_uncolored"] = not args.raw
+    if backend == "parallel" and args.workers is not None:
+        opts["workers"] = args.workers
     out = color(
         g,
         args.algorithm,
-        backend=args.backend,
+        backend=backend,
         obs=args.obs,
         **opts,
     )
@@ -200,7 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="bitwise", choices=list(algorithm_names()),
     )
     c.add_argument("--backend", default=None,
-                   help="algorithm backend (e.g. python, vectorized, hw)")
+                   help="algorithm backend (e.g. python, vectorized, parallel, hw)")
+    c.add_argument("--workers", type=int, default=None,
+                   help="process-pool width for backend=parallel (implies "
+                        "--backend parallel for the bitwise algorithm)")
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--obs", metavar="PATH",
                    help="write spans/counters of the run as JSON lines")

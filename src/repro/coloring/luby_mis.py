@@ -37,10 +37,13 @@ def luby_mis(
     removed from the graph).
 
     ``backend="python"`` re-scans the full edge array every round;
-    ``backend="vectorized"`` keeps a compacted edge list holding only the
-    edges whose endpoints are both still alive, so later rounds touch only
-    the shrinking frontier.  Both draw the same random priorities and
-    return bit-identical masks.
+    ``backend="vectorized"`` works on *half edges* — each undirected edge
+    once, as its ``u < v`` slot — and keeps that list compacted to edges
+    whose endpoints are both still alive, so every round touches half the
+    slots of a directed scan and only the shrinking frontier.  (Half-edge
+    form relies on the repo-wide convention that CSR graphs are
+    symmetric.)  Both backends draw the same random priorities and return
+    bit-identical masks.
     """
     if backend not in ("python", "vectorized"):
         raise ValueError(f"backend must be 'python' or 'vectorized', got {backend!r}")
@@ -58,21 +61,28 @@ def luby_mis(
     obs = get_registry()
     rounds = 0
     if backend == "vectorized":
-        # Invariant: (esrc, edst) are exactly the edges with both endpoints
-        # alive, so each round's masks shrink with the frontier.
-        live = alive[src_all] & alive[dst_all]
-        esrc, edst = src_all[live], dst_all[live]
+        # Invariant: (eu, ev) hold each undirected edge once (u < v) with
+        # both endpoints alive, so each round's masks shrink with the
+        # frontier and never pay for the symmetric duplicate slot.
+        half = src_all < dst_all
+        live = half if candidates is None else half & alive[src_all] & alive[dst_all]
+        eu, ev = src_all[live], dst_all[live]
         while alive.any():
             rounds += 1
             prio = gen.permutation(n).astype(np.int64)
-            loser = esrc[prio[esrc] < prio[edst]]
             joins = alive.copy()
-            joins[loser] = False
+            # The lower-priority endpoint of every live edge loses; the
+            # permutation has no ties, so exactly one side survives.
+            u_wins = prio[eu] > prio[ev]
+            joins[eu[~u_wins]] = False
+            joins[ev[u_wins]] = False
             in_set |= joins
             alive &= ~joins
-            alive[edst[joins[esrc]]] = False
-            keep = alive[esrc] & alive[edst]
-            esrc, edst = esrc[keep], edst[keep]
+            # Joined vertices kill the neighbourhood on both edge sides.
+            alive[ev[joins[eu]]] = False
+            alive[eu[joins[ev]]] = False
+            keep = alive[eu] & alive[ev]
+            eu, ev = eu[keep], ev[keep]
         if obs.enabled:
             obs.add("coloring.luby.rounds", rounds)
         return in_set

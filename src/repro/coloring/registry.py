@@ -59,6 +59,10 @@ class AlgorithmSpec:
 
 
 def _run_bitwise(graph, *, backend: str = "python", **opts):
+    if backend == "parallel":
+        from ..parallel import parallel_bitwise_coloring
+
+        return parallel_bitwise_coloring(graph, **opts)
     if backend == "hw":
         from ..hw import BitColorAccelerator, HWConfig, OptimizationFlags
 
@@ -113,12 +117,13 @@ register_algorithm(
     AlgorithmSpec(
         name="bitwise",
         run=_run_bitwise,
-        backends=("python", "vectorized", "hw"),
+        backends=("python", "vectorized", "parallel", "hw"),
         default_backend="vectorized",
         exports=("bitwise_greedy_coloring", "BitwiseResult"),
         description=(
             "Algorithm 2: bit-wise greedy (scalar, packed-bitset kernels, "
-            "or the full accelerator model via backend='hw')"
+            "the partition-parallel pool via backend='parallel', or the "
+            "full accelerator model via backend='hw')"
         ),
     )
 )

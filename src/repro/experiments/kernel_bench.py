@@ -35,12 +35,15 @@ __all__ = [
     "ALGORITHMS",
     "DEFAULT_DATASETS",
     "DEFAULT_RESULT_PATH",
+    "SCALING_DATASET",
+    "SCALING_WORKERS",
     "check_obs_overhead",
     "check_smoke",
     "load_results",
     "run_kernel_bench",
     "run_obs_overhead",
     "run_smoke",
+    "run_worker_scaling",
     "smoke_graph",
     "write_results",
 ]
@@ -56,6 +59,11 @@ ALGORITHMS: Tuple[str, ...] = ("bitwise", "jones_plassmann", "luby_mis")
 
 SMOKE_SPEC = "powerlaw_cluster(1200, 6, 0.3, seed=7)"
 """Human-readable description of :func:`smoke_graph`, recorded in the JSON."""
+
+SCALING_DATASET = "CF"
+"""Worker-scaling target: the largest synthetic stand-in by edge count."""
+
+SCALING_WORKERS: Tuple[int, ...] = (1, 2, 4)
 
 
 def _runner(algorithm: str, graph: CSRGraph, backend: str) -> Callable[[], object]:
@@ -126,6 +134,63 @@ def run_kernel_bench(
         "repeats": repeats,
         "entries": entries,
         "smoke": run_smoke(repeats=repeats),
+        "scaling": run_worker_scaling(repeats=repeats),
+    }
+
+
+def run_worker_scaling(
+    *,
+    dataset: str = SCALING_DATASET,
+    workers: Tuple[int, ...] = SCALING_WORKERS,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Time the parallel backend at several pool widths on one big graph.
+
+    Speedups are relative to the single-process vectorized coloring of the
+    whole graph — the honest yardstick, since it is what ``workers`` must
+    eventually beat.  ``host_cpus`` is recorded alongside because pool
+    widths beyond the physical core count cannot help: on a 1-core host
+    every entry measures pure orchestration overhead.  The colors are
+    asserted byte-identical across all widths before any timing is kept.
+    """
+    import os
+
+    import numpy as np
+
+    from ..parallel import parallel_bitwise_coloring
+
+    graph = load_dataset(dataset, preprocessed=True)
+    reference_fn = _runner("bitwise", graph, "vectorized")
+    reference_fn()  # warm
+    reference_s = _best_of(reference_fn, repeats)
+    baseline_colors = None
+    entries: List[Dict[str, object]] = []
+    for w in workers:
+        fn = lambda: parallel_bitwise_coloring(graph, workers=w)  # noqa: E731
+        result = fn()  # warm: pool start-up, shm export, shard subgraphs
+        if baseline_colors is None:
+            baseline_colors = result.colors
+        elif not np.array_equal(baseline_colors, result.colors):
+            raise AssertionError(
+                f"parallel colors diverged between workers={workers[0]} and "
+                f"workers={w}"
+            )
+        seconds = _best_of(fn, repeats)
+        entries.append(
+            {
+                "workers": w,
+                "seconds": seconds,
+                "speedup_vs_vectorized": reference_s / seconds if seconds else 0.0,
+            }
+        )
+    return {
+        "dataset": dataset,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "host_cpus": os.cpu_count() or 1,
+        "vectorized_s": reference_s,
+        "deterministic_across_workers": True,
+        "entries": entries,
     }
 
 

@@ -1,11 +1,23 @@
-"""HDV/LDV partitioning — choosing the vertex threshold ``v_t``.
+"""Vertex partitioning: the HDV/LDV cache split and the shard planner.
 
-After DBG reordering, the high-degree vertices are exactly ``[0, v_t)``.
-BitColor's on-chip color cache holds the color of every HDV, so ``v_t`` is
-set by cache capacity: with a 1 MB cache and 16-bit colors, ``v_t`` =
-512 K vertices (Section 5.1.1).  For graphs smaller than the cache, all
-vertices are HDVs and off-chip color traffic disappears — which is why the
-paper sees "almost all DRAM accesses eliminated" on com-DBLP in Fig 11.
+Two unrelated-but-cohabiting notions of "partition" live here:
+
+* **HDV/LDV split** (:class:`Partition`) — after DBG reordering, the
+  high-degree vertices are exactly ``[0, v_t)``.  BitColor's on-chip
+  color cache holds the color of every HDV, so ``v_t`` is set by cache
+  capacity: with a 1 MB cache and 16-bit colors, ``v_t`` = 512 K vertices
+  (Section 5.1.1).  For graphs smaller than the cache, all vertices are
+  HDVs and off-chip color traffic disappears — which is why the paper
+  sees "almost all DRAM accesses eliminated" on com-DBLP in Fig 11.
+
+* **Shard plan** (:class:`ShardPlan`) — an edge-cut split of the vertex
+  set into ``num_shards`` disjoint owner classes, the software analogue
+  of the paper's vertex distribution across BWPEs with per-PE DRAM
+  channels.  A vertex with at least one neighbour owned by another shard
+  is a **boundary** vertex; everything else is **interior** and can be
+  colored entirely within its shard.  The partition-parallel backend
+  (:mod:`repro.parallel`) colors shard interiors concurrently and defers
+  boundary conflicts to a repair pass — the Data Conflict Table's role.
 """
 
 from __future__ import annotations
@@ -17,7 +29,14 @@ import numpy as np
 from .csr import CSRGraph
 from .stats import hdv_coverage
 
-__all__ = ["Partition", "partition_by_cache_capacity", "partition_by_degree"]
+__all__ = [
+    "Partition",
+    "ShardPlan",
+    "partition_by_cache_capacity",
+    "partition_by_degree",
+    "partition_round_robin",
+    "partition_vertex_ranges",
+]
 
 
 @dataclass(frozen=True)
@@ -79,4 +98,129 @@ def _make(graph: CSRGraph, v_t: int) -> Partition:
         num_hdv=v_t,
         num_ldv=graph.num_vertices - v_t,
         hdv_edge_coverage=hdv_coverage(graph, v_t),
+    )
+
+
+# ----------------------------------------------------------------------
+# Edge-cut shard planning (the partition-parallel backend's input)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """An edge-cut vertex partition with boundary tracking.
+
+    Attributes
+    ----------
+    owner:
+        ``int64`` array of length ``num_vertices``; ``owner[v]`` is the
+        shard that colors ``v``.
+    boundary:
+        Boolean mask; ``boundary[v]`` is True when ``v`` has at least one
+        neighbour owned by a different shard.  Only boundary vertices can
+        end up in cross-shard conflicts.
+    cut_edges:
+        Number of directed edge slots whose endpoints live in different
+        shards (each undirected cut edge counts twice).
+    strategy:
+        ``"range"`` or ``"round_robin"`` — how ``owner`` was assigned.
+    """
+
+    num_shards: int
+    owner: np.ndarray
+    boundary: np.ndarray
+    cut_edges: int
+    strategy: str = "range"
+
+    def __post_init__(self) -> None:
+        self.owner.setflags(write=False)
+        self.boundary.setflags(write=False)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.owner.size)
+
+    @property
+    def num_boundary(self) -> int:
+        return int(np.count_nonzero(self.boundary))
+
+    @property
+    def num_interior(self) -> int:
+        return self.num_vertices - self.num_boundary
+
+    def shard_vertices(self, shard: int) -> np.ndarray:
+        """All vertices owned by ``shard``, ascending."""
+        self._check_shard(shard)
+        return np.nonzero(self.owner == shard)[0].astype(np.int64)
+
+    def interior_vertices(self, shard: int) -> np.ndarray:
+        """Owned vertices with no cross-shard edge, ascending."""
+        self._check_shard(shard)
+        return np.nonzero((self.owner == shard) & ~self.boundary)[0].astype(np.int64)
+
+    def boundary_vertices(self) -> np.ndarray:
+        """Every boundary vertex across all shards, ascending."""
+        return np.nonzero(self.boundary)[0].astype(np.int64)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Vertex count per shard (length ``num_shards``)."""
+        return np.bincount(self.owner, minlength=self.num_shards)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.num_shards})")
+
+
+def partition_vertex_ranges(graph: CSRGraph, num_shards: int) -> ShardPlan:
+    """Split ``[0, n)`` into ``num_shards`` contiguous near-equal ranges.
+
+    Contiguous ranges preserve the ascending-ID processing order inside
+    each shard, which is what keeps the per-shard coloring identical to a
+    sequential walk of the shard.  With ``num_shards > num_vertices`` the
+    trailing shards are simply empty.
+    """
+    owner = _range_owner(graph.num_vertices, _check_shards(num_shards))
+    return _plan(graph, num_shards, owner, "range")
+
+
+def partition_round_robin(graph: CSRGraph, num_shards: int) -> ShardPlan:
+    """Deal vertices to shards in round-robin order (``owner[v] = v % k``).
+
+    Balances shard sizes exactly but cuts far more edges than ranges on
+    locality-ordered graphs; exposed for cut-cost comparisons.
+    """
+    _check_shards(num_shards)
+    owner = (
+        np.arange(graph.num_vertices, dtype=np.int64) % num_shards
+        if graph.num_vertices
+        else np.zeros(0, dtype=np.int64)
+    )
+    return _plan(graph, num_shards, owner, "round_robin")
+
+
+def _check_shards(num_shards: int) -> int:
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return num_shards
+
+
+def _range_owner(n: int, num_shards: int) -> np.ndarray:
+    # First n % k shards get one extra vertex, like np.array_split.
+    sizes = np.full(num_shards, n // num_shards, dtype=np.int64)
+    sizes[: n % num_shards] += 1
+    return np.repeat(np.arange(num_shards, dtype=np.int64), sizes)
+
+
+def _plan(
+    graph: CSRGraph, num_shards: int, owner: np.ndarray, strategy: str
+) -> ShardPlan:
+    src = graph.source_of_edge_slots()
+    cross = owner[src] != owner[graph.edges]
+    boundary = np.zeros(graph.num_vertices, dtype=bool)
+    boundary[src[cross]] = True
+    boundary[graph.edges[cross]] = True
+    return ShardPlan(
+        num_shards=num_shards,
+        owner=owner,
+        boundary=boundary,
+        cut_edges=int(np.count_nonzero(cross)),
+        strategy=strategy,
     )

@@ -1,0 +1,37 @@
+"""Partition-parallel execution layer — the software analogue of the PE array.
+
+BitColor's scale-out story is vertices sharded across parallel bit-wise
+engines with conflicts deferred to a small table.  This package is that
+story in multiprocessing form:
+
+* :mod:`repro.parallel.shm` — zero-copy CSR transport over
+  ``multiprocessing.shared_memory`` (no per-task graph pickling);
+* :mod:`repro.parallel.pool` — ordered pool mapping with a true-serial
+  ``workers=1`` reference path;
+* :mod:`repro.parallel.coloring` — speculative per-shard coloring plus
+  the boundary-repair pass, reachable as ``repro.color(graph,
+  backend="parallel", workers=N)``.
+
+The shard count, not the worker count, determines the answer: results
+are byte-identical for any pool size.
+"""
+
+from .coloring import (
+    DEFAULT_NUM_SHARDS,
+    ParallelColoringResult,
+    parallel_bitwise_coloring,
+)
+from .pool import pool_map, resolve_workers
+from .shm import CSRSpec, SharedCSR, attach_graph, mp_context
+
+__all__ = [
+    "CSRSpec",
+    "DEFAULT_NUM_SHARDS",
+    "ParallelColoringResult",
+    "SharedCSR",
+    "attach_graph",
+    "mp_context",
+    "parallel_bitwise_coloring",
+    "pool_map",
+    "resolve_workers",
+]

@@ -1,0 +1,82 @@
+"""Persistent worker pools shared by the parallel backend and sweep fan-out.
+
+The PE-array analogy matters here: hardware engines exist once and tasks
+stream through them, so the software pool is *persistent* too — created
+on first use per worker count, reused by every later parallel call, and
+reaped at interpreter exit.  Re-forking a pool per coloring would bury
+millisecond-scale shard work under process start-up.
+
+One entry point, :func:`pool_map`: run ``fn`` over ``items`` on a
+``workers``-wide pool, falling back to a plain inline map when a pool
+cannot help (one worker, zero/one item, or already inside a pool worker
+— daemonic children cannot fork grandchildren).  The inline path is not
+an optimisation detail: it is what makes ``workers=1`` a true serial
+reference run, which the determinism tests compare the pooled runs
+against.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from .shm import mp_context
+
+__all__ = ["pool_map", "resolve_workers", "shutdown_pools"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_POOLS: Dict[int, object] = {}
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` argument: ``None`` → CPU count, floor 1."""
+    if workers is None:
+        import os
+
+        workers = os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _shared_pool(workers: int):
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _POOLS[workers] = mp_context().Pool(processes=workers)
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every persistent pool (normally run at interpreter exit)."""
+    for pool in _POOLS.values():
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def pool_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int,
+) -> List[R]:
+    """Map ``fn`` over ``items``, preserving item order.
+
+    Results come back in item order regardless of completion order, so
+    callers see identical output for any ``workers`` value.  ``chunksize``
+    is pinned to 1: shard/sweep tasks are few and coarse, and eager
+    hand-out keeps the pool busy when task costs are skewed.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1 or multiprocessing.current_process().daemon:
+        return [fn(item) for item in items]
+    return _shared_pool(workers).map(fn, items, chunksize=1)

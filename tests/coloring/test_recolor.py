@@ -1,5 +1,7 @@
 """Tests for Kempe-chain and iterated-greedy color reduction."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -94,3 +96,28 @@ class TestIteratedGreedy:
         res = iterated_greedy(small_random, iterations=3)
         assert_proper_coloring(small_random, res.colors)
         assert res.iterations == 3
+
+
+class TestDeprecatedNumColors:
+    """RecolorResult.num_colors is a deprecated alias for colors_after."""
+
+    def _check(self, res):
+        with pytest.warns(DeprecationWarning, match="num_colors"):
+            value = res.num_colors
+        assert value == res.colors_after
+        assert value == res.n_colors
+
+    def test_kempe_reduce(self, small_random):
+        res = kempe_reduce(small_random, greedy_coloring_fast(small_random))
+        self._check(res)
+
+    def test_iterated_greedy(self, small_random):
+        res = iterated_greedy(small_random, iterations=2, seed=0)
+        self._check(res)
+
+    def test_canonical_spellings_stay_silent(self, small_random):
+        res = kempe_reduce(small_random, greedy_coloring_fast(small_random))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert res.n_colors == res.colors_after
+            assert isinstance(res.improved, bool)

@@ -1,0 +1,45 @@
+"""Tests for the pooled dataset × algorithm sweep."""
+
+import pytest
+
+from repro.experiments.runner import SweepRun, run_sweep
+from repro.obs import Registry, use_registry
+
+
+class TestRunSweep:
+    def test_cartesian_order(self):
+        runs = run_sweep(["EF"], ["bitwise", "dsatur"], workers=1)
+        assert [(r.dataset, r.algorithm) for r in runs] == [
+            ("EF", "bitwise"),
+            ("EF", "dsatur"),
+        ]
+        for r in runs:
+            assert isinstance(r, SweepRun)
+            assert r.n_colors >= 1
+            assert r.seconds >= 0.0
+
+    def test_workers_do_not_change_results(self):
+        serial = run_sweep(["EF"], ["bitwise", "greedy"], workers=1)
+        pooled = run_sweep(["EF"], ["bitwise", "greedy"], workers=2)
+        assert [(r.dataset, r.algorithm, r.n_colors) for r in serial] == [
+            (r.dataset, r.algorithm, r.n_colors) for r in pooled
+        ]
+
+    def test_unknown_dataset_fails_fast(self):
+        with pytest.raises(KeyError):
+            run_sweep(["NOPE"], ["bitwise"], workers=1)
+
+    def test_obs_cells_attributed(self):
+        reg = Registry()
+        with use_registry(reg):
+            run_sweep(["EF"], ["bitwise"], workers=2)
+        snap = reg.snapshot()
+        sweep_spans = [s for s in snap["spans"] if s["name"] == "experiment.sweep"]
+        assert len(sweep_spans) == 1
+        attributed = [
+            s
+            for s in snap["spans"]
+            if s["attrs"].get("dataset") == "EF"
+            and s["attrs"].get("algorithm") == "bitwise"
+        ]
+        assert attributed, "worker spans must come home stamped with the cell"

@@ -1,14 +1,36 @@
-"""Tests for the HDV/LDV partition (vertex threshold selection)."""
+"""Tests for the HDV/LDV partition and the edge-cut shard planner."""
 
+import numpy as np
 import pytest
 
 from repro.graph import (
+    CSRGraph,
     degree_based_grouping,
     partition_by_cache_capacity,
     partition_by_degree,
+    partition_round_robin,
+    partition_vertex_ranges,
     rmat,
     star_graph,
 )
+
+
+def _graph(offsets, edges, name):
+    return CSRGraph(
+        offsets=np.asarray(offsets, dtype=np.int64),
+        edges=np.asarray(edges, dtype=np.int64),
+        name=name,
+    )
+
+
+@pytest.fixture
+def empty_graph():
+    return _graph([0], [], "empty")
+
+
+@pytest.fixture
+def single_vertex_graph():
+    return _graph([0, 0], [], "single")
 
 
 @pytest.fixture
@@ -65,3 +87,104 @@ class TestDegreePartition:
     def test_none_above(self, dbg_graph):
         p = partition_by_degree(dbg_graph, min_degree=10**9)
         assert p.v_t == 0
+
+
+class TestPartitionEdgeCases:
+    def test_empty_graph(self, empty_graph):
+        p = partition_by_cache_capacity(empty_graph, cache_bytes=1 << 20)
+        assert p.v_t == 0
+        assert p.num_hdv == 0 and p.num_ldv == 0
+        assert p.hdv_edge_coverage == 0.0
+        assert partition_by_degree(empty_graph, min_degree=1).v_t == 0
+
+    def test_single_vertex(self, single_vertex_graph):
+        p = partition_by_cache_capacity(single_vertex_graph, cache_bytes=1 << 20)
+        assert p.v_t == 1
+        assert p.is_hdv(0)
+        assert p.num_ldv == 0
+
+    def test_all_hdv(self, dbg_graph):
+        """A cache big enough for every color makes the whole graph HDV."""
+        p = partition_by_cache_capacity(dbg_graph, cache_bytes=1 << 30)
+        assert p.num_hdv == dbg_graph.num_vertices
+        assert p.num_ldv == 0
+        assert p.hdv_edge_coverage == 1.0
+        assert all(p.is_hdv(v) for v in (0, dbg_graph.num_vertices - 1))
+
+
+class TestShardPlan:
+    @pytest.mark.parametrize(
+        "partitioner", [partition_vertex_ranges, partition_round_robin]
+    )
+    def test_empty_graph(self, empty_graph, partitioner):
+        plan = partitioner(empty_graph, 4)
+        assert plan.num_vertices == 0
+        assert plan.num_boundary == 0 and plan.num_interior == 0
+        assert plan.cut_edges == 0
+        assert plan.shard_sizes().tolist() == [0, 0, 0, 0]
+        for shard in range(4):
+            assert plan.shard_vertices(shard).size == 0
+
+    @pytest.mark.parametrize(
+        "partitioner", [partition_vertex_ranges, partition_round_robin]
+    )
+    def test_single_vertex(self, single_vertex_graph, partitioner):
+        plan = partitioner(single_vertex_graph, 4)
+        assert plan.owner.tolist() == [0]
+        assert plan.num_boundary == 0
+        assert plan.shard_sizes().tolist() == [1, 0, 0, 0]
+        assert plan.shard_vertices(0).tolist() == [0]
+        assert plan.interior_vertices(0).tolist() == [0]
+
+    def test_more_shards_than_vertices(self):
+        g = _graph([0, 1, 2], [1, 0], "pair")
+        plan = partition_vertex_ranges(g, 5)
+        assert plan.num_shards == 5
+        assert plan.shard_sizes().tolist() == [1, 1, 0, 0, 0]
+        # The single edge crosses shards, so both endpoints are boundary.
+        assert plan.boundary_vertices().tolist() == [0, 1]
+        assert plan.cut_edges == 2
+        assert plan.num_interior == 0
+
+    def test_owner_covers_all_shards(self, dbg_graph):
+        plan = partition_vertex_ranges(dbg_graph, 8)
+        assert plan.owner.size == dbg_graph.num_vertices
+        assert set(np.unique(plan.owner)) == set(range(8))
+        sizes = plan.shard_sizes()
+        assert sizes.sum() == dbg_graph.num_vertices
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_boundary_matches_definition(self, dbg_graph):
+        plan = partition_round_robin(dbg_graph, 4)
+        src = dbg_graph.source_of_edge_slots()
+        cross = plan.owner[src] != plan.owner[dbg_graph.edges]
+        expected = np.zeros(dbg_graph.num_vertices, dtype=bool)
+        expected[src[cross]] = True
+        expected[dbg_graph.edges[cross]] = True
+        assert np.array_equal(plan.boundary, expected)
+        assert plan.cut_edges == int(cross.sum())
+
+    def test_interior_disjoint_from_boundary(self, dbg_graph):
+        plan = partition_vertex_ranges(dbg_graph, 4)
+        boundary = set(plan.boundary_vertices().tolist())
+        for shard in range(4):
+            interior = plan.interior_vertices(shard)
+            assert boundary.isdisjoint(interior.tolist())
+            owned = plan.shard_vertices(shard)
+            assert set(interior.tolist()) <= set(owned.tolist())
+
+    def test_arrays_read_only(self, dbg_graph):
+        plan = partition_vertex_ranges(dbg_graph, 2)
+        with pytest.raises(ValueError):
+            plan.owner[0] = 1
+        with pytest.raises(ValueError):
+            plan.boundary[0] = True
+
+    def test_invalid_inputs(self, dbg_graph):
+        with pytest.raises(ValueError):
+            partition_vertex_ranges(dbg_graph, 0)
+        with pytest.raises(ValueError):
+            partition_round_robin(dbg_graph, -1)
+        plan = partition_vertex_ranges(dbg_graph, 2)
+        with pytest.raises(ValueError):
+            plan.shard_vertices(2)

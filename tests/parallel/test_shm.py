@@ -1,0 +1,66 @@
+"""Tests for the shared-memory CSR transport."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi, rmat, CSRGraph
+from repro.parallel import SharedCSR, attach_graph
+from repro.parallel import shm as shm_mod
+
+
+@pytest.fixture
+def graph():
+    return rmat(8, 4, seed=5, name="shm-test")
+
+
+class TestSharedCSR:
+    def test_round_trip_same_process(self, graph):
+        with SharedCSR(graph) as shared:
+            view = attach_graph(shared.spec)
+            assert view.num_vertices == graph.num_vertices
+            assert view.num_edges == graph.num_edges
+            assert view.name == graph.name
+            assert np.array_equal(view.offsets, graph.offsets)
+            assert np.array_equal(view.edges, graph.edges)
+            # Drop our attachment before the owner unlinks.
+            shm_mod._ATTACHED.pop(shared.spec.offsets_name, None)
+
+    def test_attach_is_idempotent(self, graph):
+        with SharedCSR(graph) as shared:
+            a = attach_graph(shared.spec)
+            b = attach_graph(shared.spec)
+            assert a is b
+            shm_mod._ATTACHED.pop(shared.spec.offsets_name, None)
+
+    def test_meta_travels(self):
+        g = erdos_renyi(50, 0.1, seed=1, name="meta-test")
+        g.meta["origin"] = "synthetic"
+        with SharedCSR(g) as shared:
+            view = attach_graph(shared.spec)
+            assert view.meta["origin"] == "synthetic"
+            shm_mod._ATTACHED.pop(shared.spec.offsets_name, None)
+
+    def test_empty_graph(self):
+        g = CSRGraph(
+            offsets=np.zeros(1, dtype=np.int64),
+            edges=np.zeros(0, dtype=np.int64),
+            name="empty",
+        )
+        with SharedCSR(g) as shared:
+            view = attach_graph(shared.spec)
+            assert view.num_vertices == 0
+            assert view.num_edges == 0
+            shm_mod._ATTACHED.pop(shared.spec.offsets_name, None)
+
+    def test_for_graph_memoises(self, graph):
+        a = SharedCSR.for_graph(graph)
+        b = SharedCSR.for_graph(graph)
+        assert a is b
+        assert graph._cache["parallel.shared_csr"] is a
+
+    def test_spec_is_small(self, graph):
+        """Only names and scalars cross the process boundary per task."""
+        import pickle
+
+        with SharedCSR(graph) as shared:
+            assert len(pickle.dumps(shared.spec)) < 1024

@@ -23,6 +23,22 @@ from repro.experiments.kernel_bench import DEFAULT_RESULT_PATH
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
+@pytest.fixture(autouse=True)
+def _quiesce_worker_pools():
+    """Reap any persistent worker pools before timing.
+
+    The smoke gates compare wall clock against a baseline recorded in a
+    clean single-process state; idle pool workers left behind by the
+    parallel-backend tests measurably perturb microsecond-scale timings
+    on small hosts, so the pools are shut down first (they respawn on
+    demand).
+    """
+    from repro.parallel.pool import shutdown_pools
+
+    shutdown_pools()
+    yield
+
+
 def test_baseline_is_checked_in():
     assert DEFAULT_RESULT_PATH == REPO_ROOT / "BENCH_kernels.json"
     assert DEFAULT_RESULT_PATH.exists(), "run benchmarks/bench_kernels.py first"
