@@ -2,7 +2,15 @@
 
 Paper: 16 BWPEs achieve 3.92x-7.01x over one BWPE — sublinear because of
 data conflicts, dispatch serialization and shared DRAM bandwidth.
+
+Set ``BITCOLOR_PAPER_TIER=1`` to also sweep the ~10x larger paper-scale
+stand-ins on the batched accelerator engine (minutes, not hours — the
+event engine is impractical at that scale).
 """
+
+import os
+
+import pytest
 
 from repro.experiments import fig12_scaling, report
 
@@ -19,3 +27,23 @@ def test_fig12_scaling(benchmark, once, capsys):
         assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:])), key
         assert series[16] < 13.0, key
         assert series[16] > 3.0, key
+
+
+@pytest.mark.skipif(
+    os.environ.get("BITCOLOR_PAPER_TIER") != "1",
+    reason="paper-scale sweep is opt-in (set BITCOLOR_PAPER_TIER=1)",
+)
+def test_fig12_scaling_paper_tier(benchmark, once, capsys):
+    """Same sweep on the ~10x paper-scale tier, batched engine only."""
+    result = once(
+        benchmark,
+        lambda: fig12_scaling(engine="batched", tier="paper"),
+    )
+    with capsys.disabled():
+        print("\n=== Fig 12 (paper-scale tier, batched engine) ===")
+        print(report.render_fig12(result))
+    for key, series in result.items():
+        ps = sorted(series)
+        vals = [series[p] for p in ps]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:])), key
+        assert series[16] > 1.0, key

@@ -16,9 +16,18 @@ Two gates, both against the checked-in ``BENCH_kernels.json``:
    ``smoke.vectorized_s``.  This is what keeps the instrumentation an
    honest no-op for library users who never opt in.
 
+A third gate runs against ``BENCH_hw.json`` (when present):
+
+3. **Accelerator engine speedup** — re-times the batched accelerator
+   engine against the event engine on a small fixed graph (exact parity
+   asserted first) and compares against the recorded
+   ``smoke.baseline_speedup`` the same way as gate 1.  Catches the
+   batched engine's vectorized precompute silently regressing.
+
 Usage:
 
-    python scripts/bench_smoke.py [--factor 2.0] [--repeats 3] [--obs-limit 1.05]
+    python scripts/bench_smoke.py [--factor 2.0] [--repeats 3]
+        [--obs-limit 1.05] [--skip-hw]
 """
 
 from __future__ import annotations
@@ -30,7 +39,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.experiments import check_obs_overhead, check_smoke, load_results  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    check_hw_smoke,
+    check_obs_overhead,
+    check_smoke,
+    load_hw_results,
+    load_results,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,6 +74,17 @@ def main(argv: list[str] | None = None) -> int:
         default=1.05,
         help="allowed obs-disabled time vs the baseline vectorized_s "
              "(default: 1.05 = +5%%)",
+    )
+    parser.add_argument(
+        "--hw-baseline",
+        type=Path,
+        default=None,
+        help="hw result JSON to compare against (default: repo BENCH_hw.json)",
+    )
+    parser.add_argument(
+        "--skip-hw",
+        action="store_true",
+        help="skip the accelerator-engine gate",
     )
     args = parser.parse_args(argv)
 
@@ -90,6 +116,25 @@ def main(argv: list[str] | None = None) -> int:
     if not obs_ok:
         print("FAIL: disabled observability costs more than the allowed overhead")
         return 1
+
+    if not args.skip_hw:
+        try:
+            hw_baseline = load_hw_results(args.hw_baseline)
+        except FileNotFoundError as e:
+            print(f"no hw baseline found ({e.filename}); run benchmarks/bench_hw.py")
+            return 1
+        hw_ok, hw_current, hw_threshold = check_hw_smoke(
+            hw_baseline, factor=args.factor, repeats=args.repeats
+        )
+        hw_recorded = float(hw_baseline["smoke"]["baseline_speedup"])
+        print(
+            f"hw engine speedup: current {hw_current:.2f}x, "
+            f"baseline {hw_recorded:.2f}x, threshold {hw_threshold:.2f}x"
+        )
+        if not hw_ok:
+            print("FAIL: batched accelerator engine regressed more than the "
+                  "allowed factor")
+            return 1
     print("OK")
     return 0
 

@@ -49,7 +49,14 @@ def main(out_path: str = "EXPERIMENTS.md") -> None:
         "simulator + calibrated CPU/GPU cost models over stand-in graphs), so\n"
         "only the *shape* — who wins, by what factor, where the crossovers\n"
         "fall — is comparable with the paper.  Each section states the paper's\n"
-        "claim and whether it reproduces.\n"
+        "claim and whether it reproduces.\n\n"
+        "**Engines and tiers.** All accelerator results below come from the\n"
+        "event-driven reference engine on the default stand-in tier.  The\n"
+        "epoch-batched fast path (`engine=\"batched\"`, exact-parity contract,\n"
+        "~10x wall clock — see docs/performance.md and BENCH_hw.json) and the\n"
+        "~10x larger paper-scale tier (`tier=\"paper\"`,\n"
+        "`BITCOLOR_PAPER_TIER=1` on the Fig 12 benchmark driver) exist for\n"
+        "larger sweeps; the batched engine reproduces these tables exactly.\n"
     )
 
     # Table 3 first: the workload inventory everything else runs on.

@@ -59,7 +59,10 @@ def color(
         the spec's capability flags; ``None`` picks the spec default).
         ``"bitwise"`` additionally accepts ``backend="parallel"`` (the
         multi-process shard pool, tuned with ``workers=``) and
-        ``backend="hw"`` (the full BitColor accelerator model).
+        ``backend="hw"`` (the full BitColor accelerator model, which
+        further accepts ``engine="event"|"batched"`` — the batched
+        engine is the epoch-vectorized fast path with identical results
+        — and ``epoch_size=`` for its batch granularity).
     obs:
         ``None`` — instrument into the ambient default registry (no-op
         unless enabled); a :class:`~repro.obs.Registry` — instrument into

@@ -128,7 +128,7 @@ def cmd_simulate(args) -> int:
     cfg = HWConfig(parallelism=args.parallelism)
     if args.cache_kb is not None:
         cfg = HWConfig(parallelism=args.parallelism, cache_bytes=args.cache_kb << 10)
-    acc = BitColorAccelerator(cfg, flags)
+    acc = BitColorAccelerator(cfg, flags, engine=args.engine)
     if args.obs:
         # The artifact carries both wall-clock spans and the cycle-clock
         # task trace, so tracing is forced on.
@@ -141,7 +141,7 @@ def cmd_simulate(args) -> int:
     s = res.stats
     print(f"{g.name}: {g.num_vertices} vertices, {g.num_undirected_edges} edges")
     print(f"config: P={cfg.parallelism} flags={flags.label()} "
-          f"cache={cfg.cache_bytes >> 10} KiB")
+          f"cache={cfg.cache_bytes >> 10} KiB engine={args.engine}")
     print(f"colors: {res.num_colors}")
     print(f"makespan: {s.makespan_cycles} cycles = {res.time_seconds * 1e6:.1f} us "
           f"({res.throughput_mcvs:.1f} MCV/s)")
@@ -223,6 +223,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--disable", nargs="*", default=[],
                    choices=["hdc", "bwc", "mgr", "puv"],
                    help="optimizations to turn off")
+    s.add_argument("--engine", default="event", choices=["event", "batched"],
+                   help="execution engine: 'event' steps every component "
+                        "model; 'batched' is the epoch-vectorized fast path "
+                        "with identical results (use for large graphs)")
     s.add_argument("--gantt", action="store_true",
                    help="print a per-PE occupancy chart")
     s.add_argument("--obs", metavar="PATH",

@@ -71,12 +71,18 @@ def _run_bitwise(graph, *, backend: str = "python", **opts):
             config = HWConfig(parallelism=opts.pop("parallelism", 16))
         flags = opts.pop("flags", None) or OptimizationFlags.all()
         trace = opts.pop("trace", False)
+        engine = opts.pop("engine", "event")
+        epoch_size = opts.pop("epoch_size", None)
         if opts:
             raise TypeError(
                 f"backend='hw' does not accept {sorted(opts)}; "
-                "supported opts: config, parallelism, flags, trace"
+                "supported opts: config, parallelism, flags, trace, "
+                "engine, epoch_size"
             )
-        return BitColorAccelerator(config, flags).run(graph, trace=trace)
+        acc = BitColorAccelerator(
+            config, flags, engine=engine, epoch_size=epoch_size
+        )
+        return acc.run(graph, trace=trace)
     return bitwise_greedy_coloring(graph, backend=backend, **opts)
 
 

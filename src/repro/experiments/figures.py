@@ -100,7 +100,12 @@ class AblationStep:
     total_norm: float
 
 
-def fig11_ablation(keys: Sequence[str] = DATASET_KEYS) -> Dict[str, List[AblationStep]]:
+def fig11_ablation(
+    keys: Sequence[str] = DATASET_KEYS,
+    *,
+    engine: str = "event",
+    tier: str = "standin",
+) -> Dict[str, List[AblationStep]]:
     """Figure 11: single-BWPE performance under cumulative optimizations.
 
     The paper's endpoint (+PUV) shows 88.63 % DRAM-access reduction,
@@ -112,7 +117,7 @@ def fig11_ablation(keys: Sequence[str] = DATASET_KEYS) -> Dict[str, List[Ablatio
         steps: List[AblationStep] = []
         base: Optional[AblationStep] = None
         for label, flags in _ABLATION_STEPS:
-            res = run_bitcolor(key, parallelism=1, flags=flags)
+            res = run_bitcolor(key, parallelism=1, flags=flags, engine=engine, tier=tier)
             s = res.stats
             if base is None:
                 step = AblationStep(
@@ -138,18 +143,27 @@ def fig11_ablation(keys: Sequence[str] = DATASET_KEYS) -> Dict[str, List[Ablatio
 def fig12_scaling(
     keys: Sequence[str] = DATASET_KEYS,
     parallelisms: Sequence[int] = PARALLELISM_SWEEP,
+    *,
+    engine: str = "event",
+    tier: str = "standin",
 ) -> Dict[str, Dict[int, float]]:
     """Figure 12: speedup over a single BWPE at each parallelism.
 
     The paper reports 3.92×–7.01× at P = 16 — sublinear because of data
     conflicts and scheduling, which the model reproduces via stalls.
+    ``engine="batched"`` + ``tier="paper"`` runs the sweep on the ~10×
+    stand-ins, which the event engine cannot do interactively.
     """
     out: Dict[str, Dict[int, float]] = {}
     for key in keys:
-        base = run_bitcolor(key, parallelism=parallelisms[0]).stats.makespan_cycles
+        base = run_bitcolor(
+            key, parallelism=parallelisms[0], engine=engine, tier=tier
+        ).stats.makespan_cycles
         out[key] = {}
         for p in parallelisms:
-            cyc = run_bitcolor(key, parallelism=p).stats.makespan_cycles
+            cyc = run_bitcolor(
+                key, parallelism=p, engine=engine, tier=tier
+            ).stats.makespan_cycles
             out[key][p] = base / max(cyc, 1)
     return out
 
@@ -200,6 +214,8 @@ class Fig13Result:
 def fig13_comparison(
     keys: Sequence[str] = DATASET_KEYS,
     parallelism: int = 16,
+    *,
+    engine: str = "event",
 ) -> Fig13Result:
     """Figure 13 + Section 5.3 aggregates: BitColor vs CPU vs GPU.
 
@@ -213,7 +229,7 @@ def fig13_comparison(
         n = get_graph(key).num_vertices
         cpu = run_cpu(key)
         gpu = run_gpu(key)
-        fpga = run_bitcolor(key, parallelism=parallelism)
+        fpga = run_bitcolor(key, parallelism=parallelism, engine=engine)
         fpga_t = fpga.time_seconds
         fpga_w = power.fpga_watts(parallelism)
         result.rows.append(

@@ -43,11 +43,11 @@ def get_spec(key: str) -> DatasetSpec:
         raise KeyError(f"unknown dataset {key!r}") from None
 
 
-def get_graph(key: str, *, preprocessed: bool = True) -> CSRGraph:
+def get_graph(key: str, *, preprocessed: bool = True, tier: str = "standin") -> CSRGraph:
     with get_registry().span(
-        "experiment.load_graph", dataset=key, preprocessed=preprocessed
+        "experiment.load_graph", dataset=key, preprocessed=preprocessed, tier=tier
     ) as sp:
-        graph = load_dataset(key, preprocessed=preprocessed)
+        graph = load_dataset(key, preprocessed=preprocessed, tier=tier)
         sp.set(vertices=graph.num_vertices, edges=graph.num_edges)
     return graph
 
@@ -57,15 +57,23 @@ def run_bitcolor(
     key: str,
     parallelism: int = 16,
     flags: OptimizationFlags = OptimizationFlags.all(),
+    engine: str = "event",
+    tier: str = "standin",
 ) -> AcceleratorResult:
-    """Simulate BitColor on a stand-in with paper-faithful cache scaling."""
+    """Simulate BitColor on a stand-in with paper-faithful cache scaling.
+
+    ``engine="batched"`` routes through the epoch-vectorized fast path
+    (identical results); ``tier="paper"`` runs the ~10× stand-in size
+    tier, which is only practical together with the batched engine.
+    """
     spec = get_spec(key)
     with get_registry().span(
-        "experiment.bitcolor", dataset=key, parallelism=parallelism
+        "experiment.bitcolor", dataset=key, parallelism=parallelism,
+        engine=engine, tier=tier,
     ):
-        graph = get_graph(key)
+        graph = get_graph(key, tier=tier)
         config = spec.config_for(parallelism, graph.num_vertices)
-        return BitColorAccelerator(config, flags).run(graph)
+        return BitColorAccelerator(config, flags, engine=engine).run(graph)
 
 
 @lru_cache(maxsize=None)

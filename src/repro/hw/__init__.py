@@ -1,12 +1,24 @@
 """Hardware model of the BitColor accelerator (functional + cycle-approximate)."""
 
 from .accelerator import AcceleratorResult, AcceleratorStats, BitColorAccelerator
-from .bwpe import BWPE, TaskExecution
+from .batched import DEFAULT_EPOCH_TASKS, run_batched
+from .bwpe import BWPE, TaskExecution, finalize_cycles
 from .cache import CacheStats, HDVColorCache
 from .color_loader import ColorLoader, LoaderStats
 from .config import DEFAULT_CONFIG, HWConfig, OptimizationFlags
-from .conflict import ConflictProtocolError, DataConflictTable, DCTEntry
-from .dispatcher import DispatchStats, PEState, PEStateTable, TaskDispatchUnit
+from .conflict import (
+    ConflictProtocolError,
+    DataConflictTable,
+    DCTEntry,
+    conflict_candidates,
+)
+from .dispatcher import (
+    DispatchStats,
+    PEState,
+    PEStateTable,
+    TaskDispatchUnit,
+    static_pe_binding,
+)
 from .dram import ColorMemory, DRAMChannel, DRAMStats
 from .multiport import (
     BRAM_BLOCK_BITS,
@@ -39,8 +51,13 @@ __all__ = [
     "AcceleratorResult",
     "AcceleratorStats",
     "BitColorAccelerator",
+    "DEFAULT_EPOCH_TASKS",
+    "run_batched",
     "BWPE",
     "TaskExecution",
+    "finalize_cycles",
+    "conflict_candidates",
+    "static_pe_binding",
     "CacheStats",
     "HDVColorCache",
     "ColorLoader",

@@ -38,7 +38,31 @@ from .config import HWConfig, OptimizationFlags
 from .conflict import DataConflictTable
 from .dram import DRAMChannel
 
-__all__ = ["TaskExecution", "BWPE"]
+__all__ = ["TaskExecution", "BWPE", "finalize_cycles"]
+
+
+def finalize_cycles(
+    config: HWConfig,
+    flags: OptimizationFlags,
+    color: int,
+    max_color_seen: int,
+    has_conflicts: bool,
+) -> int:
+    """Compute cycles of Steps 6–7 for a task that chose ``color``.
+
+    Single source of truth shared by the event-driven engine and the
+    batched engine (:mod:`repro.hw.batched`): the conflict OR (when any
+    neighbour was deferred), then either the BWC bit-logic path (one
+    AND-NOT cycle plus the cascaded-mux compressor latency) or the
+    flag-array baseline (scan to the chosen color, then clear the
+    engine's in-use extent, ``max_color_seen`` *before* this task).
+    """
+    cycles = config.conflict_or_cycles if has_conflicts else 0
+    if flags.bwc:
+        cycles += 1 + CascadedMuxCompressor.LATENCY_CYCLES
+    else:
+        cycles += color + max_color_seen
+    return cycles
 
 
 @dataclass
@@ -215,15 +239,12 @@ class BWPE:
         # Step 6 — parallel OR over deferred conflict colors (one cycle).
         if task.deferred_peers:
             state |= self.dct.gather_conflict_bits()
-            task.compute_cycles += cfg.conflict_or_cycles
 
         # Step 7 — color determination.
         if self.flags.bwc:
             # One cycle of AND-NOT bit logic, then the 3-cycle compressor.
-            task.compute_cycles += 1
             bits = first_free_bits(state)
             color = self.compressor.compress(bits)
-            task.compute_cycles += self.compressor.LATENCY_CYCLES
         else:
             # Flag-array traversal: scan from color 1 to the first free
             # flag, then sweep the in-use extent of the flag array clean
@@ -232,10 +253,10 @@ class BWPE:
             color = 1
             while state & (1 << (color - 1)):
                 color += 1
-            scan_cycles = color
-            clear_cycles = self._max_color_seen
-            task.compute_cycles += scan_cycles + clear_cycles
             bits = 1 << (color - 1)
+        task.compute_cycles += finalize_cycles(
+            cfg, self.flags, color, self._max_color_seen, bool(task.deferred_peers)
+        )
         self._max_color_seen = max(self._max_color_seen, color)
         if color > cfg.max_colors:
             raise ValueError(

@@ -28,6 +28,12 @@ class CacheStats:
     reads: int = 0
     writes: int = 0
 
+    def add(self, *, reads: int = 0, writes: int = 0) -> None:
+        """Bulk hit accounting — one call per batched-engine epoch instead
+        of one :meth:`HDVColorCache.read` per neighbour."""
+        self.reads += reads
+        self.writes += writes
+
     def merge(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(self.reads + other.reads, self.writes + other.writes)
 

@@ -42,10 +42,37 @@ class CyclePhase:
     IDLE = "idle"
 
 
+# Dense phase ids for the hot loop: indexing a preallocated list beats
+# hashing a string per simulated cycle.  Order defines the id.
+_PHASE_NAMES = (
+    CyclePhase.SETUP,
+    CyclePhase.PROCESS,
+    CyclePhase.EDGE_WAIT,
+    CyclePhase.DRAM_WAIT,
+    CyclePhase.FINALIZE,
+    CyclePhase.IDLE,
+)
+_SETUP, _PROCESS, _EDGE_WAIT, _DRAM_WAIT, _FINALIZE, _IDLE = range(
+    len(_PHASE_NAMES)
+)
+
+
 @dataclass
 class CycleStats:
     cycles: int = 0
     by_phase: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_counts(cls, counts) -> "CycleStats":
+        """Build from a dense per-phase-id count array (see ``_PHASE_NAMES``).
+
+        The dict is materialised once here, holding only phases that
+        actually occurred — same shape :meth:`bump` would have produced.
+        """
+        by_phase = {
+            _PHASE_NAMES[i]: c for i, c in enumerate(counts) if c
+        }
+        return cls(cycles=sum(counts), by_phase=by_phase)
 
     def bump(self, phase: str) -> None:
         self.cycles += 1
@@ -131,14 +158,15 @@ class CycleAccurateBWPE:
         colors = np.zeros(n, dtype=np.int64)
         num2bit = Num2BitTable(cfg.max_colors)
         compressor = CascadedMuxCompressor(cfg.max_colors)
-        stats = CycleStats()
+        # Dense per-phase cycle counters; turned into CycleStats once at
+        # the end (dict hashing per cycle dominated profiles before).
+        counts = [0] * len(_PHASE_NAMES)
         last_block: Optional[int] = None
         max_color_seen = 1
 
         for v in range(n):
             # --- setup phase -------------------------------------------------
-            for _ in range(cfg.task_setup_cycles):
-                stats.bump(CyclePhase.SETUP)
+            counts[_SETUP] += cfg.task_setup_cycles
             stream = _EdgeStream(cfg, graph.neighbors(v))
             state = 0
             sorted_edges = graph.meta.get("edges_sorted", False)
@@ -148,7 +176,7 @@ class CycleAccurateBWPE:
             while True:
                 if dram_wait > 0:
                     dram_wait -= 1
-                    stats.bump(CyclePhase.DRAM_WAIT)
+                    counts[_DRAM_WAIT] += 1
                     stream.tick()
                     continue
                 if stream.exhausted:
@@ -156,11 +184,11 @@ class CycleAccurateBWPE:
                 w = stream.pop()
                 stream.tick()
                 if w is None:
-                    stats.bump(CyclePhase.EDGE_WAIT)
+                    counts[_EDGE_WAIT] += 1
                     continue
                 # Prune stage.
                 if flags.puv and w > v:
-                    stats.bump(CyclePhase.PROCESS)
+                    counts[_PROCESS] += 1
                     if sorted_edges:
                         stream.drop_remaining()
                         break
@@ -168,42 +196,39 @@ class CycleAccurateBWPE:
                 # Fetch stage.
                 if flags.hdc and w < v_t:
                     color = int(colors[w])
-                    stats.bump(CyclePhase.PROCESS)
+                    counts[_PROCESS] += 1
                 else:
                     block = w // cfg.colors_per_block
                     if flags.mgr and block == last_block:
                         color = int(colors[w])
-                        stats.bump(CyclePhase.PROCESS)
+                        counts[_PROCESS] += 1
                     else:
                         color = int(colors[w])
                         last_block = block
-                        stats.bump(CyclePhase.PROCESS)
+                        counts[_PROCESS] += 1
                         dram_wait = cfg.dram_read_occupancy_cycles - 1
                 # OR stage (same cycle as the pipeline slot).
                 state |= num2bit.decompress(color)
 
             # --- finalize FSM -------------------------------------------------
             if flags.bwc:
-                stats.bump(CyclePhase.FINALIZE)  # AND-NOT
                 bits = first_free_bits(state)
                 color = compressor.compress(bits)
-                for _ in range(compressor.LATENCY_CYCLES):
-                    stats.bump(CyclePhase.FINALIZE)
+                # AND-NOT cycle + compressor latency.
+                counts[_FINALIZE] += 1 + compressor.LATENCY_CYCLES
             else:
                 color = 1
                 while state & (1 << (color - 1)):
                     color += 1
-                for _ in range(color + max_color_seen):
-                    stats.bump(CyclePhase.FINALIZE)
+                counts[_FINALIZE] += color + max_color_seen
             max_color_seen = max(max_color_seen, color)
             colors[v] = color
             # Write-back.
             if flags.hdc and v < v_t:
-                stats.bump(CyclePhase.FINALIZE)
+                counts[_FINALIZE] += 1
             else:
                 if last_block == v // cfg.colors_per_block:
                     last_block = None  # writer invalidates the merge buffer
-                for _ in range(cfg.dram_write_cycles):
-                    stats.bump(CyclePhase.FINALIZE)
+                counts[_FINALIZE] += cfg.dram_write_cycles
 
-        return colors, stats
+        return colors, CycleStats.from_counts(counts)

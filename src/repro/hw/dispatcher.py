@@ -33,7 +33,33 @@ from typing import Deque, List, Optional, Tuple
 
 from .config import HWConfig
 
-__all__ = ["PEState", "PEStateTable", "TaskDispatchUnit", "DispatchStats"]
+__all__ = [
+    "PEState",
+    "PEStateTable",
+    "TaskDispatchUnit",
+    "DispatchStats",
+    "static_pe_binding",
+]
+
+
+def static_pe_binding(num_vertices: int, v_t: int, parallelism: int):
+    """The dispatch plan that is static under ascending-ID dispatch.
+
+    Returns a ``numpy`` int64 array of length ``num_vertices``: vertex
+    ``v < v_t`` is bound to PE ``v % P`` (the HDV port-binding rule),
+    every LDV entry is ``-1`` ("first idle PE" — a timing property only
+    the schedule recurrence can resolve).  This is the part of
+    :class:`TaskDispatchUnit` the batched engine can precompute for a
+    whole epoch; the FIFO model above exists to *check* that the real
+    unit respects it.
+    """
+    import numpy as np
+
+    pe = np.full(num_vertices, -1, dtype=np.int64)
+    bound = min(max(v_t, 0), num_vertices)
+    if bound > 0:
+        pe[:bound] = np.arange(bound, dtype=np.int64) % parallelism
+    return pe
 
 
 @dataclass

@@ -40,6 +40,19 @@ class DRAMStats:
     def total_reads(self) -> int:
         return self.random_reads + self.stream_reads
 
+    def add_reads(self, *, random: int = 0, stream: int = 0, cycles: int = 0) -> None:
+        """Bulk read accounting — the batched engine folds whole epochs in
+        one call instead of one :meth:`DRAMChannel.read_block` per block."""
+        self.random_reads += random
+        self.stream_reads += stream
+        self.read_cycles += cycles
+
+    def add_writes(self, count: int, cycles: int = 0) -> None:
+        """Bulk posted-write accounting (batched-engine counterpart of
+        :meth:`DRAMChannel.write_block`)."""
+        self.writes += count
+        self.write_cycles += cycles
+
     def merge(self, other: "DRAMStats") -> "DRAMStats":
         return DRAMStats(
             random_reads=self.random_reads + other.random_reads,
@@ -127,6 +140,10 @@ class ColorMemory:
     def block_of(self, vertex: int) -> int:
         """DRAM block index that holds this vertex's color."""
         return vertex // self.config.colors_per_block
+
+    def blocks_of(self, vertices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_of` (batched MGR/stream accounting)."""
+        return np.asarray(vertices) // self.config.colors_per_block
 
     def offset_of(self, vertex: int) -> int:
         """Word offset of this vertex's color within its block."""

@@ -18,9 +18,11 @@ from .bitmatrix import (
     scatter_or_colors,
     words_for_colors,
 )
+from .segments import adjacent_pair_counts, rows_sorted, run_start_mask, segment_ids
 
 __all__ = [
     "WORD_BITS",
+    "adjacent_pair_counts",
     "bit_index_u64",
     "colors_to_onehot",
     "contiguous_independent_runs",
@@ -29,6 +31,9 @@ __all__ = [
     "gather_ranges",
     "onehot_to_colors",
     "popcount_u64",
+    "rows_sorted",
+    "run_start_mask",
     "scatter_or_colors",
+    "segment_ids",
     "words_for_colors",
 ]

@@ -1,0 +1,80 @@
+"""Segmented (per-CSR-row) array primitives for batched accounting.
+
+The batched accelerator engine (:mod:`repro.hw.batched`) models per-task
+quantities — prune boundaries, DRAM-block run lengths, stream continuity
+— as reductions over *segments* of one flat edge array, where a segment
+is the CSR row of one vertex task.  These helpers are the shared
+vocabulary for that style: every function takes flat arrays plus either
+an ``offsets`` array (CSR convention: segment ``i`` is
+``values[offsets[i]:offsets[i+1]]``) or a precomputed per-element
+segment-id array, and returns per-segment or per-element results without
+any Python-level loop over segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_ids", "rows_sorted", "run_start_mask", "adjacent_pair_counts"]
+
+
+def segment_ids(offsets: np.ndarray) -> np.ndarray:
+    """Per-element segment id for a CSR ``offsets`` array.
+
+    ``segment_ids([0, 2, 2, 5]) == [0, 0, 2, 2, 2]``.
+    """
+    offsets = np.asarray(offsets)
+    counts = np.diff(offsets)
+    return np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+
+
+def rows_sorted(offsets: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-segment flag: is the segment non-decreasing?
+
+    Matches the per-task check the event-driven BWPE performs on each
+    neighbour list (``size < 2`` counts as sorted).  Vectorized as one
+    pass over adjacent pairs: a pair only disqualifies the row that
+    contains *both* its elements.
+    """
+    offsets = np.asarray(offsets)
+    values = np.asarray(values)
+    n = offsets.size - 1
+    ok = np.ones(n, dtype=bool)
+    if values.size >= 2:
+        seg = segment_ids(offsets)
+        bad = (values[1:] < values[:-1]) & (seg[1:] == seg[:-1])
+        ok[seg[1:][bad]] = False
+    return ok
+
+
+def run_start_mask(seg: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Mask selecting the first element of each run of equal values.
+
+    A run never crosses a segment boundary: the first element of every
+    segment always starts a run.  ``seg`` must be non-decreasing (CSR
+    order).  This is the collapse step of the MGR model — consecutive
+    equal DRAM-block indices within one task merge into one request.
+    """
+    seg = np.asarray(seg)
+    values = np.asarray(values)
+    starts = np.ones(values.size, dtype=bool)
+    if values.size >= 2:
+        starts[1:] = (values[1:] != values[:-1]) | (seg[1:] != seg[:-1])
+    return starts
+
+
+def adjacent_pair_counts(
+    seg: np.ndarray, pair_flags: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Per-segment count of flagged *adjacent pairs*.
+
+    ``pair_flags`` has ``len(seg) - 1`` entries, one per adjacent element
+    pair; pairs spanning two segments are ignored.  Used to count stream
+    continuations (``block[j] == block[j-1] + 1``) per task.
+    """
+    seg = np.asarray(seg)
+    pair_flags = np.asarray(pair_flags)
+    if seg.size < 2:
+        return np.zeros(num_segments, dtype=np.int64)
+    inside = pair_flags & (seg[1:] == seg[:-1])
+    return np.bincount(seg[1:][inside], minlength=num_segments)

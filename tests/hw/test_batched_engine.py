@@ -1,0 +1,226 @@
+"""Parity suite: the batched engine must be indistinguishable from the
+event engine — byte-identical colorings, exactly equal stats (the batched
+engine replays the schedule, so even the timing-dependent fields match),
+and matching traces.
+
+Layers, cheap to expensive:
+
+1. small fixtures × all 16 flag combinations × P ∈ {1, 4} — exact;
+2. hypothesis: arbitrary graphs / flags / parallelism / cache sizes;
+3. all ten registry stand-ins at the paper settings (flags.all, P=16)
+   — exact, plus a few stand-ins × flag subsets;
+4. opt-in exhaustive matrix (every stand-in × every flag combination)
+   behind ``BITCOLOR_FULL_PARITY=1``.
+"""
+
+import dataclasses
+import itertools
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import DATASET_KEYS, load_dataset
+from repro.experiments.runner import get_spec
+from repro.graph import (
+    CSRGraph,
+    degree_based_grouping,
+    powerlaw_cluster,
+    rmat,
+    road_grid,
+    sort_edges,
+)
+from repro.hw import (
+    BitColorAccelerator,
+    DEFAULT_EPOCH_TASKS,
+    HWConfig,
+    OptimizationFlags,
+    run_batched,
+)
+
+ALL_FLAG_COMBOS = [
+    OptimizationFlags(hdc=h, bwc=b, mgr=m, puv=p)
+    for h, b, m, p in itertools.product([False, True], repeat=4)
+]
+
+
+def preprocessed(g):
+    return sort_edges(degree_based_grouping(g).graph)
+
+
+@pytest.fixture(scope="module")
+def small_graphs():
+    raw = powerlaw_cluster(250, 5, 0.3, seed=7, name="raw")
+    return {
+        "raw": raw,  # unsorted rows exercise the per-row sortedness path
+        "pre": preprocessed(raw),
+        "rmat": preprocessed(rmat(8, 8, seed=3)),
+        "road": preprocessed(road_grid(18, 18, seed=5)),
+    }
+
+
+def assert_parity(graph, cfg, flags, *, trace=False, epoch_size=None):
+    ev = BitColorAccelerator(cfg, flags).run(graph, trace=trace)
+    ba = BitColorAccelerator(
+        cfg, flags, engine="batched", epoch_size=epoch_size
+    ).run(graph, trace=trace)
+    np.testing.assert_array_equal(ev.colors, ba.colors)
+    assert ev.num_colors == ba.num_colors
+    assert dataclasses.asdict(ev.stats) == dataclasses.asdict(ba.stats)
+    if trace:
+        assert ev.trace.tasks == ba.trace.tasks
+    return ev, ba
+
+
+# ----------------------------------------------------------------------
+# Layer 1: fixtures × all flag combinations × parallelism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("flags", ALL_FLAG_COMBOS, ids=lambda f: f.label())
+@pytest.mark.parametrize("parallelism", [1, 4])
+def test_all_flag_combos_exact(small_graphs, flags, parallelism):
+    cfg = HWConfig(parallelism=parallelism, cache_bytes=256)
+    for g in small_graphs.values():
+        assert_parity(g, cfg, flags)
+
+
+def test_trace_parity(small_graphs):
+    cfg = HWConfig(parallelism=4, cache_bytes=256)
+    assert_parity(small_graphs["pre"], cfg, OptimizationFlags.all(), trace=True)
+
+
+@pytest.mark.parametrize("epoch_size", [1, 7, 64, 100000])
+def test_epoch_boundaries_do_not_matter(small_graphs, epoch_size):
+    cfg = HWConfig(parallelism=8, cache_bytes=512)
+    assert_parity(
+        small_graphs["pre"], cfg, OptimizationFlags.all(), epoch_size=epoch_size
+    )
+
+
+def test_empty_and_singleton_graphs():
+    cfg = HWConfig(parallelism=4)
+    for g in (CSRGraph.from_edge_list(0, []), CSRGraph.from_edge_list(1, [])):
+        assert_parity(g, cfg, OptimizationFlags.all())
+
+
+def test_engine_knob_validation():
+    with pytest.raises(ValueError, match="unknown engine"):
+        BitColorAccelerator(engine="warp")
+    acc = BitColorAccelerator(engine="batched")
+    assert acc.engine == "batched"
+    assert BitColorAccelerator().engine == "event"
+
+
+def test_degenerate_dram_config_rejected(small_graphs):
+    g = small_graphs["pre"]
+    for cfg in (
+        HWConfig(dram_stream_cycles=1),
+        HWConfig(dram_read_occupancy_cycles=1),
+    ):
+        with pytest.raises(ValueError, match="engine='event'"):
+            BitColorAccelerator(cfg, engine="batched").run(g)
+        BitColorAccelerator(cfg).run(g)  # the event engine still accepts it
+
+
+def test_max_colors_overflow_raises(small_graphs):
+    cfg = HWConfig(parallelism=4, max_colors=3)
+    flags = OptimizationFlags(hdc=True, bwc=False, mgr=True, puv=True)
+    g = small_graphs["pre"]
+    with pytest.raises(ValueError, match="needs color"):
+        BitColorAccelerator(cfg, flags).run(g)
+    with pytest.raises(ValueError, match="needs color"):
+        BitColorAccelerator(cfg, flags, engine="batched").run(g)
+
+
+def test_run_batched_direct_api(small_graphs):
+    res = run_batched(
+        small_graphs["pre"], HWConfig(parallelism=4), OptimizationFlags.all(),
+        epoch_size=DEFAULT_EPOCH_TASKS,
+    )
+    assert res.num_colors > 0
+    with pytest.raises(ValueError, match="epoch_size"):
+        run_batched(
+            small_graphs["pre"], HWConfig(), OptimizationFlags.all(), epoch_size=0
+        )
+
+
+# ----------------------------------------------------------------------
+# Layer 2: property-based
+# ----------------------------------------------------------------------
+@st.composite
+def graphs(draw, max_vertices=40):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=120,
+        )
+    )
+    return CSRGraph.from_edge_list(n, edges)
+
+
+@st.composite
+def flag_sets(draw):
+    return OptimizationFlags(
+        hdc=draw(st.booleans()),
+        bwc=draw(st.booleans()),
+        mgr=draw(st.booleans()),
+        puv=draw(st.booleans()),
+    )
+
+
+@given(
+    graph=graphs(),
+    flags=flag_sets(),
+    parallelism=st.sampled_from([1, 2, 3, 4, 16]),
+    cache_bytes=st.sampled_from([2, 64, 1024]),
+    epoch_size=st.sampled_from([1, 5, 4096]),
+)
+@settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_property_parity(graph, flags, parallelism, cache_bytes, epoch_size):
+    cfg = HWConfig(parallelism=parallelism, cache_bytes=cache_bytes)
+    assert_parity(graph, cfg, flags, epoch_size=epoch_size)
+
+
+# ----------------------------------------------------------------------
+# Layer 3: the registry stand-ins
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", DATASET_KEYS)
+def test_standins_paper_settings_exact(key):
+    g = load_dataset(key)
+    cfg = get_spec(key).config_for(16, g.num_vertices)
+    assert_parity(g, cfg, OptimizationFlags.all())
+
+
+@pytest.mark.parametrize("key", ["EF", "RC", "CD"])
+@pytest.mark.parametrize(
+    "flags",
+    [
+        OptimizationFlags.none(),
+        OptimizationFlags(hdc=True, bwc=False, mgr=True, puv=False),
+        OptimizationFlags(hdc=False, bwc=True, mgr=False, puv=True),
+    ],
+    ids=lambda f: f.label(),
+)
+def test_standins_flag_subsets_exact(key, flags):
+    g = load_dataset(key)
+    cfg = get_spec(key).config_for(8, g.num_vertices)
+    assert_parity(g, cfg, flags)
+
+
+# ----------------------------------------------------------------------
+# Layer 4: opt-in exhaustive matrix (slow; run before release)
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(
+    os.environ.get("BITCOLOR_FULL_PARITY") != "1",
+    reason="exhaustive 10-dataset x 16-flag matrix; set BITCOLOR_FULL_PARITY=1",
+)
+@pytest.mark.parametrize("key", DATASET_KEYS)
+@pytest.mark.parametrize("flags", ALL_FLAG_COMBOS, ids=lambda f: f.label())
+def test_full_parity_matrix(key, flags):
+    g = load_dataset(key)
+    cfg = get_spec(key).config_for(16, g.num_vertices)
+    assert_parity(g, cfg, flags)

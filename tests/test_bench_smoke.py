@@ -13,11 +13,14 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import (
+    check_hw_smoke,
     check_obs_overhead,
     check_smoke,
+    load_hw_results,
     load_results,
     run_smoke,
 )
+from repro.experiments.hw_bench import DEFAULT_HW_RESULT_PATH, LARGEST_STANDIN
 from repro.experiments.kernel_bench import DEFAULT_RESULT_PATH
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -50,6 +53,26 @@ def test_baseline_is_checked_in():
         if e["dataset"] == "GD" and e["algorithm"] == "bitwise"
     ]
     assert gd and gd[0]["speedup"] >= 10.0
+
+
+def test_hw_baseline_is_checked_in():
+    assert DEFAULT_HW_RESULT_PATH == REPO_ROOT / "BENCH_hw.json"
+    assert DEFAULT_HW_RESULT_PATH.exists(), "run benchmarks/bench_hw.py first"
+    doc = json.loads(DEFAULT_HW_RESULT_PATH.read_text())
+    assert doc["smoke"]["baseline_speedup"] > 1.0
+    assert all(e["exact_parity"] for e in doc["entries"])
+    # The acceptance record: >=10x on the largest stand-in.
+    rc = [e for e in doc["entries"] if e["dataset"] == LARGEST_STANDIN]
+    assert rc and rc[0]["speedup"] >= 10.0
+
+
+def test_hw_smoke_no_regression():
+    baseline = load_hw_results()
+    ok, current, threshold = check_hw_smoke(baseline, factor=2.0, repeats=2)
+    assert ok, (
+        f"batched accelerator engine regressed: smoke speedup {current:.2f}x "
+        f"fell below threshold {threshold:.2f}x"
+    )
 
 
 def test_smoke_no_regression():
