@@ -32,7 +32,7 @@ from contextlib import nullcontext
 from pathlib import Path
 from typing import Optional, Union
 
-from .coloring.registry import algorithm_names, get_algorithm
+from .coloring.registry import algorithm_names, get_algorithm, hw_engine_names
 from .obs import JsonlExporter, Registry, get_registry, use_registry
 
 __all__ = ["color"]
@@ -83,6 +83,22 @@ def color(
         )
     if "seed" in opts and not spec.supports_seed:
         raise TypeError(f"algorithm {algorithm!r} is deterministic; it takes no seed")
+    # Validate engine= up front: it only reaches the accelerator through
+    # backend="hw", and a typo should fail here with the option list, not
+    # deep inside dispatch (or as a stray kwarg on a software algorithm).
+    engine = opts.get("engine")
+    if engine is not None:
+        resolved = backend or spec.default_backend
+        if resolved != "hw":
+            raise ValueError(
+                f"engine={engine!r} requires backend='hw' "
+                f"(got backend={resolved!r} on algorithm {algorithm!r})"
+            )
+        engines = hw_engine_names()
+        if engine not in engines:
+            raise ValueError(
+                f"unknown engine {engine!r}; allowed: {', '.join(engines)}"
+            )
 
     export_path: Optional[Path] = None
     if isinstance(obs, Registry):

@@ -7,7 +7,10 @@ Installed as ``bitcolor-repro`` (or run ``python -m repro.cli``):
   algorithm and report colors/validation;
 * ``simulate`` — run the BitColor accelerator model and report modelled
   performance, optionally with a per-PE Gantt trace;
-* ``experiment`` — regenerate one paper table/figure.
+* ``experiment`` — regenerate one paper table/figure;
+* ``serve`` — run the long-lived coloring service on a Unix socket;
+* ``submit`` — send one coloring job (or a status probe) to a served
+  instance and print the result.
 """
 
 from __future__ import annotations
@@ -182,6 +185,70 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .obs import Registry
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        max_queue_depth=args.max_depth,
+        client_quota=args.client_quota,
+        executors=args.executors,
+        default_timeout_s=args.timeout,
+        batching=not args.no_batching,
+        cache_capacity=args.cache_capacity,
+        registry=Registry(),
+        obs_path=args.obs,
+    )
+    print(f"serving on {args.socket} "
+          f"(executors={args.executors}, depth={args.max_depth}, "
+          f"batching={'off' if args.no_batching else 'on'}) — ctrl-C to stop")
+    serve(args.socket, config)
+    print("drained and stopped")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .service import connect
+
+    with connect(args.socket, client_id=args.client_id) as client:
+        if args.status:
+            import json as _json
+
+            print(_json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if not (args.dataset or args.input):
+            raise SystemExit("submit needs --dataset/--input (or --status)")
+        opts = {}
+        if args.seed is not None:
+            opts["seed"] = args.seed
+        if args.workers is not None:
+            opts["workers"] = args.workers
+        kwargs = dict(
+            algorithm=args.algorithm,
+            backend=args.backend,
+            engine=args.engine,
+            priority=args.priority,
+            timeout_s=args.job_timeout,
+            **opts,
+        )
+        if args.dataset:
+            result = client.color_retrying(dataset=args.dataset, **kwargs)
+        else:
+            graph_args = argparse.Namespace(
+                dataset=None, input=args.input, raw=args.raw
+            )
+            result = client.color_retrying(_load_graph(graph_args), **kwargs)
+    label = args.dataset or args.input
+    print(f"{label}: {result.n_colors} colors via {result.route}")
+    print(f"attempts={result.attempts} cache_hit={result.cache_hit} "
+          f"batched={result.batched} "
+          f"total={result.timings.get('total', 0.0) * 1e3:.1f} ms")
+    if args.output:
+        np.save(args.output, result.colors)
+        print(f"colors written to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="bitcolor-repro",
@@ -240,12 +307,66 @@ def build_parser() -> argparse.ArgumentParser:
         "fig11", "fig12", "fig13", "fig14",
     ])
     e.set_defaults(fn=cmd_experiment)
+
+    sv = sub.add_parser("serve", help="run the coloring service on a socket")
+    sv.add_argument("--socket", required=True, help="Unix socket path to bind")
+    sv.add_argument("--executors", type=int, default=2,
+                    help="worker threads draining execution units")
+    sv.add_argument("--max-depth", type=int, default=256,
+                    help="admission queue depth before load shedding")
+    sv.add_argument("--client-quota", type=int, default=None,
+                    help="max queued jobs per client id (default: unlimited)")
+    sv.add_argument("--timeout", type=float, default=None,
+                    help="default per-job deadline in seconds")
+    sv.add_argument("--cache-capacity", type=int, default=128,
+                    help="result-cache entries (0 disables)")
+    sv.add_argument("--no-batching", action="store_true",
+                    help="disable micro-batching of small jobs")
+    sv.add_argument("--obs", metavar="PATH",
+                    help="export service spans/counters here on shutdown")
+    sv.set_defaults(fn=cmd_serve)
+
+    sb = sub.add_parser("submit", help="submit a job to a served instance")
+    sb.add_argument("--socket", required=True, help="Unix socket of the server")
+    src = sb.add_mutually_exclusive_group()
+    src.add_argument("--input", help="graph file (.npz or SNAP edge list)")
+    src.add_argument("--dataset",
+                     help="registry stand-in key, resolved server-side")
+    src.add_argument("--status", action="store_true",
+                     help="print the service /healthz snapshot and exit")
+    sb.add_argument("--raw", action="store_true",
+                    help="skip preprocessing for --input graphs")
+    sb.add_argument(
+        "--algorithm", default="bitwise", choices=list(algorithm_names()),
+    )
+    sb.add_argument("--backend", default=None,
+                    help="pin a backend (otherwise the service routes)")
+    sb.add_argument("--engine", default=None, choices=["event", "batched"],
+                    help="accelerator engine for backend=hw")
+    sb.add_argument("--seed", type=int, default=None,
+                    help="seed for randomized algorithms")
+    sb.add_argument("--workers", type=int, default=None,
+                    help="pool width for backend=parallel")
+    sb.add_argument("--priority", type=int, default=0)
+    sb.add_argument("--job-timeout", type=float, default=None,
+                    help="per-job deadline in seconds")
+    sb.add_argument("--client-id", default="cli")
+    sb.add_argument("--output", help="save the color array (.npy)")
+    sb.set_defaults(fn=cmd_submit)
     return p
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); not our error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -34,8 +34,22 @@ __all__ = [
     "AlgorithmSpec",
     "algorithm_names",
     "get_algorithm",
+    "hw_engine_names",
     "register_algorithm",
 ]
+
+
+def hw_engine_names() -> Tuple[str, ...]:
+    """The accelerator execution engines ``backend="hw"`` accepts.
+
+    Sourced from :class:`~repro.hw.accelerator.BitColorAccelerator` (the
+    import is lazy to keep the registry import-light); exposed here so the
+    facade can validate ``engine=`` eagerly with the same option list the
+    accelerator itself enforces.
+    """
+    from ..hw.accelerator import BitColorAccelerator
+
+    return tuple(BitColorAccelerator.ENGINES)
 
 
 @dataclass(frozen=True)

@@ -42,6 +42,7 @@ __all__ = [
     "load_results",
     "run_kernel_bench",
     "run_obs_overhead",
+    "run_obs_overhead_pair",
     "run_smoke",
     "run_worker_scaling",
     "smoke_graph",
@@ -246,21 +247,51 @@ def run_obs_overhead(*, repeats: int = 5) -> float:
         return _best_of(fn, repeats)
 
 
+def run_obs_overhead_pair(*, repeats: int = 5) -> Tuple[float, float]:
+    """Obs-disabled ``(vectorized_s, python_s)`` smoke times, same process.
+
+    Measuring both backends back to back gives a machine-speed-free
+    ratio: host slowness shifts numerator and denominator together.
+    """
+    graph = smoke_graph()
+    vec = _runner("bitwise", graph, "vectorized")
+    py = _runner("bitwise", graph, "python")
+    with use_registry(Registry(enabled=False)):
+        vec()  # warm: schedule memoisation, lazy imports
+        py()
+        return _best_of(vec, repeats), _best_of(py, repeats)
+
+
 def check_obs_overhead(
     baseline: Dict[str, object], *, limit: float = 1.05, repeats: int = 5
 ) -> Tuple[bool, float, float]:
     """Check the disabled-observability overhead against the baseline.
 
-    Compares the obs-disabled smoke time to the checked-in
-    ``smoke.vectorized_s`` (recorded before the instrumentation existed).
-    Returns ``(ok, current_s, threshold_s)``; the check passes while the
-    instrumented-but-disabled kernel stays within ``limit`` (default +5 %)
-    of the uninstrumented baseline.
+    Returns ``(ok, current_ratio, threshold_ratio)``; the check passes
+    while the instrumented-but-disabled kernel stays within ``limit``
+    (default +5 %) of the uninstrumented baseline.
+
+    The comparison is drift-normalized: absolute seconds-vs-seconds
+    against a checked-in number flakes whenever the host runs slower
+    than the box that recorded the baseline (shared CI runners drift by
+    tens of percent).  Instead the gate compares the obs-disabled
+    ``vectorized / python`` time ratio, both sides measured in the same
+    process moments apart, against the recorded pre-instrumentation
+    ``smoke.vectorized_s / smoke.python_s``.  Host speed cancels out of
+    the ratio; instrumentation overhead does not — per-run overhead is a
+    near-constant cost, and the vectorized run is ~10x shorter, so any
+    creep inflates the numerator ~10x more than the denominator.
     """
     smoke = baseline.get("smoke", baseline)
-    baseline_s = float(smoke["vectorized_s"])
-    current = run_obs_overhead(repeats=repeats)
-    threshold = baseline_s * limit
+    baseline_ratio = float(smoke["vectorized_s"]) / float(smoke["python_s"])
+    # Min over a few measurement windows, for the same reason _best_of
+    # takes a min: contention noise is one-sided (it only slows a
+    # window), while real instrumentation overhead shifts every window.
+    current = min(
+        (lambda vp: vp[0] / vp[1])(run_obs_overhead_pair(repeats=repeats))
+        for _ in range(3)
+    )
+    threshold = baseline_ratio * limit
     return current <= threshold, current, threshold
 
 

@@ -13,12 +13,36 @@ experiments can hold both the raw and the preprocessed graph at once.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["CSRGraph", "GraphError"]
+__all__ = ["CSRGraph", "GraphError", "csr_fingerprint"]
+
+FINGERPRINT_VERSION = "csr-v1"
+"""Domain tag mixed into every fingerprint; bump when the hashed layout
+changes so old cached identities can never alias new ones."""
+
+
+def csr_fingerprint(graph: "CSRGraph") -> str:
+    """Stable content hash of a CSR graph's structure.
+
+    SHA-256 over ``(version tag, num_vertices, offsets bytes, edges
+    bytes)`` — nothing else.  Two graphs fingerprint equal iff they have
+    identical vertex counts and identical CSR arrays, regardless of
+    ``name``/``meta``, which makes the digest usable as a content
+    address: the service result cache keys on it, and BENCH files can
+    record it as a dataset identity.  Returns a 64-char hex string.
+    """
+    h = hashlib.sha256()
+    h.update(FINGERPRINT_VERSION.encode())
+    h.update(np.int64(graph.num_vertices).tobytes())
+    # ascontiguousarray: views (e.g. sliced arrays) hash like their copies.
+    h.update(np.ascontiguousarray(graph.offsets).tobytes())
+    h.update(np.ascontiguousarray(graph.edges).tobytes())
+    return h.hexdigest()
 
 
 class GraphError(ValueError):
@@ -367,6 +391,13 @@ class CSRGraph:
         remap = {v: i for i, v in enumerate(nodes)}
         edges = [(remap[u], remap[v]) for u, v in g.edges()]
         return cls.from_edge_list(len(nodes), edges, symmetrize=True, name=name)
+
+    def fingerprint(self) -> str:
+        """This graph's :func:`csr_fingerprint`, memoised (arrays are immutable)."""
+        cached = self._cache.get("fingerprint")
+        if cached is None:
+            cached = self._cache["fingerprint"] = csr_fingerprint(self)
+        return cached
 
     # ------------------------------------------------------------------
     # Misc

@@ -37,6 +37,7 @@ from .exporters import (
     ConsoleExporter,
     JsonlExporter,
     MemoryExporter,
+    close_all_exporters,
     read_jsonl,
     snapshot_from_records,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "MemoryExporter",
     "Registry",
     "SpanRecord",
+    "close_all_exporters",
     "disable",
     "enable",
     "get_registry",

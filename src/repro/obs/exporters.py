@@ -15,9 +15,11 @@ Three exporters, one shared record schema (``Registry.to_records``):
 
 from __future__ import annotations
 
+import atexit
 import io
 import json
 import sys
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -27,6 +29,7 @@ __all__ = [
     "ConsoleExporter",
     "JsonlExporter",
     "MemoryExporter",
+    "close_all_exporters",
     "read_jsonl",
     "snapshot_from_records",
 ]
@@ -43,16 +46,88 @@ class MemoryExporter:
         return self.records
 
 
-class JsonlExporter:
-    """Writes the registry as a JSON-lines file; ``export`` returns the path."""
+# Every JsonlExporter with an open file handle, so the atexit hook can
+# flush and close them all — a worker that exits mid-run (or a caller who
+# never bothers with close()) must not lose buffered records.
+_OPEN_EXPORTERS: "set[JsonlExporter]" = set()
+_OPEN_LOCK = threading.Lock()
 
-    def __init__(self, path: Union[str, Path]):
+
+def close_all_exporters() -> int:
+    """Flush and close every open :class:`JsonlExporter`; returns the count.
+
+    Registered with :mod:`atexit`; also callable directly (the service
+    calls it on drain, and the regression test calls it to simulate the
+    interpreter going down with handles still open).
+    """
+    with _OPEN_LOCK:
+        pending = list(_OPEN_EXPORTERS)
+    for exporter in pending:
+        exporter.close()
+    return len(pending)
+
+
+atexit.register(close_all_exporters)
+
+
+class JsonlExporter:
+    """Writes a registry as a JSON-lines file; ``export`` returns the path.
+
+    The exporter keeps its file handle open across calls so incremental
+    writers (the service's streaming use via :meth:`write_records`) pay one
+    open, and **every write is flushed** — the artifact on disk is complete
+    after each call even if the process dies before :meth:`close`.  An
+    :mod:`atexit` guard closes any exporter left open.  One-shot callers
+    (``JsonlExporter(p).export(reg)``) need not change: each ``export``
+    rewrites the file in full (``append=True`` switches to append-only,
+    for one artifact accumulating records from many exports).
+    """
+
+    def __init__(self, path: Union[str, Path], *, append: bool = False):
         self.path = Path(path)
+        self.append = append
+        self._fh: Optional[io.TextIOWrapper] = None
+
+    def _handle(self) -> io.TextIOWrapper:
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "a" if self.append else "w+")
+            with _OPEN_LOCK:
+                _OPEN_EXPORTERS.add(self)
+        return self._fh
 
     def export(self, registry: Registry) -> Path:
-        lines = [json.dumps(rec, sort_keys=True) for rec in registry.to_records()]
-        self.path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return self.write_records(registry.to_records())
+
+    def write_records(self, records: List[Dict[str, object]]) -> Path:
+        """Write ``records`` (rewriting the file unless ``append``) and flush."""
+        fh = self._handle()
+        if not self.append:
+            fh.seek(0)
+            fh.truncate()
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        fh.flush()
         return self.path
+
+    def flush(self) -> None:
+        """Push any buffered lines to disk (no-op when nothing is open)."""
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the handle; idempotent, safe to call from atexit."""
+        with _OPEN_LOCK:
+            _OPEN_EXPORTERS.discard(self)
+        if self._fh is not None and not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ConsoleExporter:

@@ -1,0 +1,85 @@
+"""Long-lived coloring service: queueing, micro-batching, routing, serving.
+
+The layers, innermost out (each its own module):
+
+* :mod:`~repro.service.jobs` — requests, job handles, results, the
+  error taxonomy (``RetryAfter``, ``JobTimeout``, ``JobFailed``);
+* :mod:`~repro.service.queue` — bounded priority queue with per-client
+  quotas and load shedding;
+* :mod:`~repro.service.router` — size/skew backend routing and the
+  degradation ladder;
+* :mod:`~repro.service.batcher` — micro-batching small jobs into one
+  disjoint-union vectorized kernel invocation;
+* :mod:`~repro.service.cache` — content-addressed result cache keyed on
+  the canonical CSR fingerprint;
+* :mod:`~repro.service.executor` — retries with exponential backoff and
+  backend-health-driven degradation;
+* :mod:`~repro.service.service` — :class:`ColoringService`, the running
+  engine tying those together;
+* :mod:`~repro.service.protocol` / :mod:`~repro.service.server` /
+  :mod:`~repro.service.client` — the length-prefixed JSON wire format,
+  the asyncio Unix-socket front-end, and the unified in-process/socket
+  :class:`Client`.
+
+Quick start::
+
+    from repro.service import ColoringService, Client
+
+    with ColoringService() as svc:
+        result = Client(svc).color(graph)          # in-process
+
+    # or, across processes:
+    #   $ bitcolor-repro serve --socket /tmp/repro.sock
+    from repro.service import connect
+    with connect("/tmp/repro.sock") as client:
+        result = client.color(graph, algorithm="bitwise")
+"""
+
+from .batcher import batch_key, disjoint_union, run_microbatch
+from .cache import ResultCache
+from .client import Client, connect
+from .executor import BackendHealth, Executor
+from .jobs import (
+    Job,
+    JobFailed,
+    JobRequest,
+    JobResult,
+    JobState,
+    JobTimeout,
+    RetryAfter,
+    ServiceClosed,
+    ServiceError,
+)
+from .queue import AdmissionQueue
+from .router import DEGRADATION_LADDER, RouteDecision, Router, next_rung
+from .server import ServiceServer, serve
+from .service import ColoringService, ServiceConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "BackendHealth",
+    "Client",
+    "ColoringService",
+    "DEGRADATION_LADDER",
+    "Executor",
+    "Job",
+    "JobFailed",
+    "JobRequest",
+    "JobResult",
+    "JobState",
+    "JobTimeout",
+    "ResultCache",
+    "RetryAfter",
+    "RouteDecision",
+    "Router",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "batch_key",
+    "connect",
+    "disjoint_union",
+    "next_rung",
+    "run_microbatch",
+    "serve",
+]

@@ -1,0 +1,186 @@
+"""Clients of the coloring service: in-process and socket, one surface.
+
+``Client`` fronts both deployment shapes with the same three calls —
+:meth:`Client.color`, :meth:`Client.status`, :meth:`Client.ping` — so
+application code does not care whether the service lives in its process
+or behind a Unix socket:
+
+* ``Client(service=svc)`` wraps a running
+  :class:`~repro.service.service.ColoringService` directly (zero-copy,
+  no serialization);
+* ``Client(socket_path=...)`` (or :func:`connect`) speaks the
+  length-prefixed JSON protocol to a :func:`repro.service.server.serve`
+  instance.  One persistent connection per client; requests on a single
+  client are serialized (use one client per thread for concurrency —
+  they are cheap).
+
+Either way the error surface is identical: admission shedding raises
+:class:`~repro.service.jobs.RetryAfter`, deadlines raise
+:class:`~repro.service.jobs.JobTimeout`, exhausted retries raise
+:class:`~repro.service.jobs.JobFailed`.  :meth:`Client.color_retrying`
+is the canonical client-side reaction to shedding: sleep the hinted
+backoff and resubmit.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..graph.csr import CSRGraph
+from .jobs import JobResult, RetryAfter, ServiceError
+from .protocol import (
+    encode_graph,
+    read_frame,
+    result_from_wire,
+    wire_to_error,
+    write_frame,
+)
+from .service import ColoringService
+
+__all__ = ["Client", "connect"]
+
+
+class Client:
+    """A handle for submitting coloring jobs to a service."""
+
+    def __init__(
+        self,
+        service: Optional[ColoringService] = None,
+        *,
+        socket_path: Optional[Union[str, Path]] = None,
+        client_id: str = "client",
+        connect_timeout: float = 5.0,
+    ):
+        if (service is None) == (socket_path is None):
+            raise ValueError(
+                "exactly one of service= or socket_path= is required"
+            )
+        self.client_id = client_id
+        self._service = service
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(connect_timeout)
+            try:
+                self._sock.connect(str(socket_path))
+            except OSError as exc:
+                self._sock.close()
+                raise ServiceError(
+                    f"cannot connect to service at {socket_path}: {exc}"
+                ) from exc
+            self._sock.settimeout(None)
+
+    # ------------------------------------------------------------------
+    @property
+    def remote(self) -> bool:
+        return self._sock is not None
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def color(
+        self,
+        graph: Optional[CSRGraph] = None,
+        *,
+        dataset: Optional[str] = None,
+        algorithm: str = "bitwise",
+        backend: Optional[str] = None,
+        engine: Optional[str] = None,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        **opts: Any,
+    ) -> JobResult:
+        """Submit one job and wait for its result (errors raise)."""
+        if self._service is not None:
+            return self._service.color(
+                graph,
+                dataset=dataset,
+                algorithm=algorithm,
+                backend=backend,
+                engine=engine,
+                priority=priority,
+                client_id=self.client_id,
+                timeout_s=timeout_s,
+                **opts,
+            )
+        message: Dict[str, Any] = {
+            "op": "color",
+            "algorithm": algorithm,
+            "backend": backend,
+            "engine": engine,
+            "opts": opts,
+            "priority": priority,
+            "client_id": self.client_id,
+            "timeout_s": timeout_s,
+        }
+        if graph is not None:
+            message["graph"] = encode_graph(graph)
+        if dataset is not None:
+            message["dataset"] = dataset
+        payload = self._roundtrip(message)
+        return result_from_wire(payload["result"])
+
+    def color_retrying(
+        self,
+        graph: Optional[CSRGraph] = None,
+        *,
+        max_sheds: int = 32,
+        **kwargs: Any,
+    ) -> JobResult:
+        """:meth:`color`, resubmitting on :class:`RetryAfter` sheds.
+
+        Sleeps each shed's ``retry_after_s`` hint; gives up (re-raising
+        the last shed) after ``max_sheds`` rejections so a permanently
+        saturated service still fails loudly.
+        """
+        for _ in range(max_sheds):
+            try:
+                return self.color(graph, **kwargs)
+            except RetryAfter as shed:
+                last = shed
+                time.sleep(shed.retry_after_s)
+        raise last
+
+    def status(self) -> Dict[str, Any]:
+        """The service's ``/healthz`` snapshot."""
+        if self._service is not None:
+            return self._service.status()
+        return self._roundtrip({"op": "status"})["status"]
+
+    def ping(self) -> bool:
+        if self._service is not None:
+            return True
+        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        assert self._sock is not None
+        with self._lock:
+            write_frame(self._sock, message)
+            response = read_frame(self._sock)
+        if response is None:
+            raise ServiceError("server closed the connection")
+        if not response.get("ok"):
+            raise wire_to_error(response.get("error", {}))
+        return response
+
+
+def connect(
+    socket_path: Union[str, Path], *, client_id: str = "client", **kwargs: Any
+) -> Client:
+    """Open a socket :class:`Client` to a served coloring service."""
+    return Client(socket_path=socket_path, client_id=client_id, **kwargs)

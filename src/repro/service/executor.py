@@ -1,0 +1,203 @@
+"""Fault-tolerant execution: retries, backoff, and the degradation ladder.
+
+One attempt is one :func:`repro.color` call.  Around it this module
+wraps the service's survival rules:
+
+* **retry with exponential backoff** — a dead pool worker, a broken
+  shared-memory segment, or an injected fault fails one attempt, not the
+  job; the next attempt waits ``backoff_base_s * 2**k`` (capped);
+* **degradation ladder** — every failure is charged against the backend
+  that ran it; once a backend accumulates ``failure_threshold``
+  *consecutive* failures the service stops trusting it and walks the
+  job (and subsequent jobs) down :data:`~repro.service.router.DEGRADATION_LADDER`
+  — ``parallel → vectorized → python`` — trading speed for isolation.
+  One success resets the backend's count: transient incidents heal;
+* **deadline checks** — between attempts; an attempt itself is never
+  preempted (NumPy kernels are not interruptible), so a timeout fires at
+  the next seam.
+
+The ``fault_hook`` config is the chaos harness: called before every
+attempt with ``(request, attempt)``; raising from it simulates a worker
+dying mid-job.  The robustness tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..obs import Registry
+from .jobs import JobFailed, JobRequest, JobTimeout
+from .router import next_rung
+
+__all__ = ["BACKEND_ONLY_OPTS", "BackendHealth", "Executor"]
+
+BACKEND_ONLY_OPTS: Dict[str, Tuple[str, ...]] = {
+    "parallel": ("workers", "num_shards", "partition"),
+    "hw": ("config", "parallelism", "flags", "trace", "engine", "epoch_size"),
+}
+"""Options only one backend understands.  A degraded job must not leak
+them to the rung that actually runs (the vectorized kernel rejects
+``workers=``, the hw model rejects nothing silently, etc.)."""
+
+
+class BackendHealth:
+    """Consecutive-failure bookkeeping per backend rung."""
+
+    def __init__(self, failure_threshold: int = 3):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self._failures: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def record_failure(self, backend: Optional[str]) -> int:
+        if backend is None:
+            return 0
+        with self._lock:
+            count = self._failures.get(backend, 0) + 1
+            self._failures[backend] = count
+            return count
+
+    def record_success(self, backend: Optional[str]) -> None:
+        if backend is None:
+            return
+        with self._lock:
+            self._failures.pop(backend, None)
+
+    def broken(self, backend: Optional[str]) -> bool:
+        if backend is None:
+            return False
+        with self._lock:
+            return self._failures.get(backend, 0) >= self.failure_threshold
+
+    def effective(self, backend: Optional[str]) -> Optional[str]:
+        """``backend`` or the first non-broken rung below it."""
+        seen = set()
+        while backend is not None and self.broken(backend):
+            if backend in seen:  # defensive: ladder is acyclic by shape
+                break
+            seen.add(backend)
+            lower = next_rung(backend)
+            if lower is None:
+                break
+            backend = lower
+        return backend
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._failures)
+
+
+class Executor:
+    """Runs one request to completion through retries and degradation."""
+
+    def __init__(
+        self,
+        *,
+        registry: Registry,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        failure_threshold: int = 3,
+        fault_hook: Optional[Callable[[JobRequest, int], None]] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.registry = registry
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.health = BackendHealth(failure_threshold)
+        self.fault_hook = fault_hook
+
+    # ------------------------------------------------------------------
+    def run_request(
+        self,
+        request: JobRequest,
+        graph: CSRGraph,
+        backend: Optional[str],
+        engine: Optional[str],
+        *,
+        deadline: Optional[float] = None,
+    ) -> Tuple[np.ndarray, int, Optional[str], Optional[str], int]:
+        """Execute with retries; ``(colors, n_colors, backend, engine, attempts)``.
+
+        ``backend``/``engine`` are the routed choice; what actually ran is
+        returned (degradation may have moved the job down the ladder).
+        Raises :class:`JobTimeout` past the deadline, :class:`JobFailed`
+        when every attempt is spent.
+        """
+        from ..api import color as repro_color
+
+        reg = self.registry
+        last_error: Optional[BaseException] = None
+        run_backend = self.health.effective(backend)
+        if run_backend != backend:
+            self._count_degraded(backend, run_backend)
+        for attempt in range(1, self.max_attempts + 1):
+            if deadline is not None and time.monotonic() >= deadline:
+                raise JobTimeout(
+                    f"job {request.job_id} deadline passed before attempt "
+                    f"{attempt} ({request.algorithm})"
+                )
+            run_engine = engine if run_backend == "hw" else None
+            opts = dict(request.opts)
+            for owner, names in BACKEND_ONLY_OPTS.items():
+                if run_backend != owner:
+                    for name in names:
+                        opts.pop(name, None)
+            if run_engine is not None:
+                opts["engine"] = run_engine
+            try:
+                with reg.span(
+                    "service.attempt",
+                    job=request.job_id,
+                    attempt=attempt,
+                    algorithm=request.algorithm,
+                    backend=run_backend or "",
+                ):
+                    if self.fault_hook is not None:
+                        self.fault_hook(request, attempt)
+                    out = repro_color(
+                        graph, request.algorithm, backend=run_backend, **opts
+                    )
+            except (JobTimeout,):
+                raise
+            except Exception as exc:  # one attempt down, not the job
+                last_error = exc
+                failures = self.health.record_failure(run_backend)
+                reg.add("service.attempt_failures")
+                if attempt >= self.max_attempts:
+                    break
+                reg.add("service.retries")
+                fallback = self.health.effective(run_backend)
+                if fallback != run_backend:
+                    self._count_degraded(run_backend, fallback)
+                    run_backend = fallback
+                self._backoff(attempt)
+                continue
+            self.health.record_success(run_backend)
+            return out.colors, out.n_colors, run_backend, run_engine, attempt
+        raise JobFailed(
+            f"job {request.job_id} failed after {self.max_attempts} attempts "
+            f"(last backend {run_backend!r}): {last_error!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        delay = min(self.backoff_base_s * (2 ** (attempt - 1)), self.backoff_cap_s)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _count_degraded(
+        self, frm: Optional[str], to: Optional[str]
+    ) -> None:
+        self.registry.add("service.degraded")
+        self.registry.add(f"service.degraded.{frm or 'none'}_to_{to or 'none'}")

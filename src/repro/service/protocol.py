@@ -1,0 +1,202 @@
+"""Wire protocol of the coloring service's socket front-end.
+
+Deliberately boring: every message is a **4-byte big-endian length
+prefix followed by one UTF-8 JSON object**, in both directions.  Graphs
+and color arrays ride inside the JSON as base64-encoded little-endian
+``int64`` buffers — the same arrays a :class:`~repro.graph.csr.CSRGraph`
+holds, so decoding is a zero-parse ``np.frombuffer`` and a round-tripped
+graph fingerprints identically to the original (the cache contract
+survives the wire).
+
+Request shapes (``op`` selects):
+
+``{"op": "color", "algorithm": ..., "backend": ..., "engine": ...,
+  "opts": {...}, "priority": ..., "client_id": ..., "timeout_s": ...,
+  "graph": {...encoded...}}`` — or ``"dataset": "GD"`` instead of
+``"graph"``.  ``{"op": "status"}`` — the ``/healthz`` snapshot.
+``{"op": "ping"}`` — liveness.
+
+Responses are ``{"ok": true, ...payload...}`` or ``{"ok": false,
+"error": {"type": ..., "message": ..., "retry_after_s": ...}}``; the
+client rehydrates the error type into the matching
+:class:`~repro.service.jobs.ServiceError` subclass so socket callers
+and in-process callers see identical exceptions.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .jobs import (
+    JobFailed,
+    JobResult,
+    JobTimeout,
+    RetryAfter,
+    ServiceClosed,
+    ServiceError,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "decode_colors",
+    "decode_graph",
+    "encode_colors",
+    "encode_graph",
+    "error_to_wire",
+    "read_frame",
+    "result_from_wire",
+    "result_to_wire",
+    "wire_to_error",
+    "write_frame",
+]
+
+_LEN = struct.Struct(">I")
+
+MAX_FRAME_BYTES = 256 << 20
+"""Refuse frames past 256 MiB — a corrupt length prefix must not turn
+into an allocation bomb."""
+
+
+# ----------------------------------------------------------------------
+# Framing (blocking sockets; the asyncio server has stream equivalents)
+# ----------------------------------------------------------------------
+def write_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    body = json.dumps(payload, sort_keys=True).encode()
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """One decoded frame, or None on clean EOF before any byte."""
+    header = _read_exact(sock, _LEN.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(f"frame of {length} bytes exceeds the protocol cap")
+    body = _read_exact(sock, length, eof_ok=False)
+    return json.loads(body.decode())
+
+
+def _read_exact(
+    sock: socket.socket, n: int, *, eof_ok: bool
+) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ServiceError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Array / graph codec
+# ----------------------------------------------------------------------
+def _encode_i64(arr: np.ndarray) -> str:
+    buf = np.ascontiguousarray(arr, dtype="<i8").tobytes()
+    return base64.b64encode(buf).decode("ascii")
+
+
+def _decode_i64(text: str) -> np.ndarray:
+    raw = base64.b64decode(text.encode("ascii"))
+    return np.frombuffer(raw, dtype="<i8").astype(np.int64, copy=True)
+
+
+def encode_graph(graph: CSRGraph) -> Dict[str, Any]:
+    """JSON-safe rendering of a CSR graph (structure + name only)."""
+    return {
+        "n": int(graph.num_vertices),
+        "offsets": _encode_i64(graph.offsets),
+        "edges": _encode_i64(graph.edges),
+        "name": graph.name,
+    }
+
+
+def decode_graph(data: Dict[str, Any]) -> CSRGraph:
+    offsets = _decode_i64(data["offsets"])
+    if offsets.size != int(data["n"]) + 1:
+        raise ServiceError(
+            f"graph frame inconsistent: n={data['n']} but "
+            f"{offsets.size} offsets"
+        )
+    return CSRGraph(
+        offsets=offsets,
+        edges=_decode_i64(data["edges"]),
+        name=str(data.get("name", "")),
+    )
+
+
+def encode_colors(colors: np.ndarray) -> str:
+    return _encode_i64(colors)
+
+
+def decode_colors(text: str) -> np.ndarray:
+    return _decode_i64(text)
+
+
+# ----------------------------------------------------------------------
+# Results and errors
+# ----------------------------------------------------------------------
+def result_to_wire(result: JobResult) -> Dict[str, Any]:
+    payload = result.as_dict()
+    # Replace the int-list rendering with the compact binary form.
+    payload.pop("colors")
+    payload["colors_i64"] = encode_colors(result.colors)
+    return payload
+
+
+def result_from_wire(payload: Dict[str, Any]) -> JobResult:
+    return JobResult(
+        colors=decode_colors(payload["colors_i64"]),
+        n_colors=int(payload["n_colors"]),
+        algorithm=payload["algorithm"],
+        backend=payload.get("backend"),
+        engine=payload.get("engine"),
+        route=payload.get("route", ""),
+        cache_hit=bool(payload.get("cache_hit", False)),
+        batched=int(payload.get("batched", 0)),
+        attempts=int(payload.get("attempts", 1)),
+        timings=dict(payload.get("timings", {})),
+    )
+
+
+_ERROR_TYPES = {
+    "RetryAfter": RetryAfter,
+    "JobTimeout": JobTimeout,
+    "JobFailed": JobFailed,
+    "ServiceClosed": ServiceClosed,
+    "ServiceError": ServiceError,
+}
+
+
+def error_to_wire(exc: BaseException) -> Dict[str, Any]:
+    wire: Dict[str, Any] = {
+        "type": type(exc).__name__
+        if type(exc).__name__ in _ERROR_TYPES
+        else "ServiceError",
+        "message": str(exc),
+    }
+    if isinstance(exc, RetryAfter):
+        wire["retry_after_s"] = exc.retry_after_s
+    return wire
+
+
+def wire_to_error(wire: Dict[str, Any]) -> ServiceError:
+    kind = _ERROR_TYPES.get(wire.get("type", ""), ServiceError)
+    message = wire.get("message", "service error")
+    if kind is RetryAfter:
+        return RetryAfter(message, float(wire.get("retry_after_s", 0.05)))
+    return kind(message)

@@ -1,0 +1,169 @@
+"""Priority job queue with admission control and load shedding.
+
+The queue is the service's only intake: bounded depth, per-client
+quotas, strict priority order (ties FIFO).  When either bound would be
+exceeded the submit is **shed** — :class:`~repro.service.jobs.RetryAfter`
+is raised immediately with a backoff hint — rather than blocked, so a
+saturated service keeps answering in bounded time instead of hanging
+its callers.  This mirrors the paper's task dispatcher: the dispatch
+window is finite and tasks that do not fit wait *outside* the engine
+array, except here "outside" is the client's retry loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..obs import Registry
+from .jobs import Job, RetryAfter
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Bounded priority queue; higher ``priority`` pops first, ties FIFO."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 256,
+        client_quota: Optional[int] = None,
+        retry_after_s: float = 0.05,
+        registry: Optional[Registry] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if client_quota is not None and client_quota < 1:
+            raise ValueError(f"client_quota must be >= 1, got {client_quota}")
+        self.max_depth = max_depth
+        self.client_quota = client_quota
+        self.retry_after_s = retry_after_s
+        self._registry = registry or Registry(enabled=False)
+        self._heap: List[tuple] = []
+        self._client_counts: Dict[str, int] = {}
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    def client_queued(self, client_id: str) -> int:
+        with self._lock:
+            return self._client_counts.get(client_id, 0)
+
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Admit ``job`` or shed it with :class:`RetryAfter`.
+
+        Shedding is decided under the lock so depth/quota checks are
+        race-free against concurrent submitters.
+        """
+        client = job.request.client_id
+        with self._lock:
+            depth = len(self._heap)
+            if depth >= self.max_depth:
+                self._shed("queue_full")
+                raise RetryAfter(
+                    f"queue full ({depth}/{self.max_depth} jobs queued)",
+                    self._retry_hint(depth),
+                )
+            queued = self._client_counts.get(client, 0)
+            if self.client_quota is not None and queued >= self.client_quota:
+                self._shed("client_quota")
+                raise RetryAfter(
+                    f"client {client!r} already has {queued} jobs queued "
+                    f"(quota {self.client_quota})",
+                    self._retry_hint(depth),
+                )
+            heapq.heappush(
+                self._heap, (-job.request.priority, next(self._seq), job)
+            )
+            self._client_counts[client] = queued + 1
+            self._gauge_depth()
+            self._not_empty.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Highest-priority job, blocking up to ``timeout``; None when idle."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                if not self._not_empty.wait(remaining):
+                    return None
+            _, _, job = heapq.heappop(self._heap)
+            self._forget(job)
+            self._gauge_depth()
+            return job
+
+    def drain_matching(
+        self, match: Callable[[Job], bool], limit: int
+    ) -> List[Job]:
+        """Remove up to ``limit`` queued jobs satisfying ``match``.
+
+        Jobs come out in priority/FIFO order.  This is the micro-batcher's
+        coalescing primitive: after popping one batchable job it sweeps the
+        queue for companions with the same batch key.  O(n log n) over the
+        current depth, which admission keeps small.
+        """
+        if limit <= 0:
+            return []
+        with self._lock:
+            taken: List[Job] = []
+            kept: List[tuple] = []
+            # heapq has no remove; pop everything, keep non-matches.
+            while self._heap and len(taken) < limit:
+                entry = heapq.heappop(self._heap)
+                if match(entry[2]):
+                    taken.append(entry[2])
+                    self._forget(entry[2])
+                else:
+                    kept.append(entry)
+            for entry in kept:
+                heapq.heappush(self._heap, entry)
+            if taken:
+                self._gauge_depth()
+            return taken
+
+    def close(self) -> None:
+        """Wake every blocked ``pop`` (they return None once empty)."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------
+    def _forget(self, job: Job) -> None:
+        client = job.request.client_id
+        count = self._client_counts.get(client, 0) - 1
+        if count <= 0:
+            self._client_counts.pop(client, None)
+        else:
+            self._client_counts[client] = count
+
+    def _retry_hint(self, depth: int) -> float:
+        """Back off proportionally to how far past capacity we are."""
+        return self.retry_after_s * max(1.0, depth / self.max_depth)
+
+    def _shed(self, reason: str) -> None:
+        self._registry.add("service.shed")
+        self._registry.add(f"service.shed.{reason}")
+
+    def _gauge_depth(self) -> None:
+        self._registry.gauge("service.queue_depth", len(self._heap))

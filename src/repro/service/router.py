@@ -1,0 +1,149 @@
+"""Backend routing: which execution lane should a job take?
+
+The router turns one job (plus its resolved graph) into a
+:class:`RouteDecision`:
+
+* a **pinned** job — the caller named a backend and/or engine — keeps it
+  verbatim: parity with a direct :func:`repro.color` call is the
+  contract, so routing never overrides an explicit choice (small pinned
+  ``vectorized``/``python`` bitwise jobs may still ride a micro-batch,
+  which is color-identical by construction);
+* an unpinned **small** job goes to the micro-batch lane, where the
+  batcher coalesces it with its queue neighbours into one vectorized
+  kernel invocation;
+* an unpinned **large** job is routed by degree skew, following how the
+  backends actually behave on the two graph families the paper
+  evaluates: power-law graphs (high skew) shard well, so they go to
+  ``backend="parallel"`` and reuse the persistent process pool across
+  requests; regular low-skew graphs (roads, grids) go to the
+  accelerator model's epoch-batched engine, whose DRAM merging thrives
+  on sorted bounded-degree adjacency.
+
+The router also owns the **degradation ladder** the executor climbs
+down when a backend keeps failing: ``parallel → vectorized → python``
+(and ``hw → vectorized``), each rung trading speed for a simpler, more
+isolated execution path that cannot be broken by pool workers dying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..coloring.registry import get_algorithm
+from ..graph.csr import CSRGraph
+from .batcher import batch_key
+from .jobs import JobRequest
+
+__all__ = [
+    "DEGRADATION_LADDER",
+    "RouteDecision",
+    "Router",
+    "next_rung",
+]
+
+DEGRADATION_LADDER = {
+    "parallel": "vectorized",
+    "hw": "vectorized",
+    "vectorized": "python",
+}
+"""``backend -> next rung`` when a backend repeatedly fails; ``python``
+(absent) is the floor — the pure in-process reference loop."""
+
+
+def next_rung(backend: Optional[str]) -> Optional[str]:
+    """The fallback backend one rung down, or None at the floor."""
+    if backend is None:
+        return None
+    return DEGRADATION_LADDER.get(backend)
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Where one job executes."""
+
+    lane: str
+    """``"batch"`` (micro-batch coalescing) or ``"direct"``."""
+    backend: Optional[str]
+    engine: Optional[str]
+    reason: str
+    batch_key: Optional[tuple] = None
+    """Coalescing key for the batch lane (jobs with equal keys may share
+    one kernel invocation); None on the direct lane."""
+
+    @property
+    def label(self) -> str:
+        parts = [self.lane]
+        if self.backend:
+            parts.append(f"backend={self.backend}")
+        if self.engine:
+            parts.append(f"engine={self.engine}")
+        parts.append(self.reason)
+        return " ".join(parts)
+
+
+class Router:
+    """Size/skew routing heuristics (thresholds are service config)."""
+
+    def __init__(
+        self,
+        *,
+        small_vertices: int = 2048,
+        large_vertices: int = 50_000,
+        skew_threshold: float = 8.0,
+        batching: bool = True,
+    ):
+        self.small_vertices = small_vertices
+        self.large_vertices = large_vertices
+        self.skew_threshold = skew_threshold
+        self.batching = batching
+
+    def route(self, request: JobRequest, graph: CSRGraph) -> RouteDecision:
+        spec = get_algorithm(request.algorithm)
+        pinned = request.backend is not None or request.engine is not None
+        backend = request.backend or spec.default_backend
+        engine = request.engine
+
+        key = batch_key(request, graph) if self.batching else None
+        if key is not None and graph.num_vertices <= self.small_vertices:
+            reason = "(pinned, batchable)" if pinned else "(small)"
+            return RouteDecision(
+                lane="batch",
+                backend=backend,
+                engine=None,
+                reason=reason,
+                batch_key=key,
+            )
+        if pinned:
+            return RouteDecision(
+                lane="direct", backend=backend, engine=engine, reason="(pinned)"
+            )
+        if (
+            graph.num_vertices >= self.large_vertices
+            and "parallel" in spec.backends
+        ):
+            if self._degree_skew(graph) >= self.skew_threshold:
+                return RouteDecision(
+                    lane="direct",
+                    backend="parallel",
+                    engine=None,
+                    reason="(large, skewed)",
+                )
+            if "hw" in spec.backends:
+                return RouteDecision(
+                    lane="direct",
+                    backend="hw",
+                    engine="batched",
+                    reason="(large, regular)",
+                )
+        return RouteDecision(
+            lane="direct", backend=backend, engine=None, reason="(default)"
+        )
+
+    @staticmethod
+    def _degree_skew(graph: CSRGraph) -> float:
+        """Max-to-mean degree ratio; 0 for edgeless graphs."""
+        if graph.num_edges == 0 or graph.num_vertices == 0:
+            return 0.0
+        mean = graph.num_edges / graph.num_vertices
+        return graph.max_degree() / mean

@@ -1,0 +1,258 @@
+"""Asyncio socket front-end over :class:`~repro.service.service.ColoringService`.
+
+The server listens on a **Unix domain socket** (local by construction —
+no TCP surface) and speaks the length-prefixed JSON protocol of
+:mod:`repro.service.protocol`.  Each connection is one asyncio task;
+many requests may be in flight per connection and across connections,
+because the blocking submit-and-wait against the in-process service runs
+in the event loop's thread pool — the loop itself only frames bytes.
+
+Embedding options, outermost first:
+
+* :func:`serve` — build a service, bind the socket, run until
+  interrupted, then drain and shut down.  This is the CLI's
+  ``repro serve`` verb.
+* :class:`ServiceServer` with :meth:`ServiceServer.run_in_thread` — a
+  running server on a background thread, for tests and applications
+  that embed serving next to other work.
+* :class:`ServiceServer` ``start``/``stop`` coroutines for callers with
+  their own event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import struct
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .jobs import JobRequest, ServiceError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    decode_graph,
+    error_to_wire,
+    result_to_wire,
+)
+from .service import ColoringService, ServiceConfig
+
+__all__ = ["ServiceServer", "serve"]
+
+_LEN = struct.Struct(">I")
+
+
+class ServiceServer:
+    """One Unix-socket listener bound to one :class:`ColoringService`."""
+
+    def __init__(
+        self,
+        service: ColoringService,
+        socket_path: Union[str, Path],
+        *,
+        owns_service: bool = False,
+    ):
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self.owns_service = owns_service
+        """Whether :meth:`stop` also closes (drains) the service."""
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Async lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServiceError("server already started")
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(self.socket_path)
+        )
+        self._started.set()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        with contextlib.suppress(OSError):
+            self.socket_path.unlink()
+        if self.owns_service:
+            # Drain in a worker thread: close() blocks on in-flight jobs.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.service.close
+            )
+        self._started.clear()
+
+    # ------------------------------------------------------------------
+    # Threaded lifecycle (tests, embedding)
+    # ------------------------------------------------------------------
+    def run_in_thread(self, *, timeout: float = 10.0) -> "ServiceServer":
+        """Start the server on a dedicated event-loop thread; returns self."""
+
+        def runner() -> None:
+            asyncio.run(self._run_until_stopped())
+
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(
+            target=runner, name="repro-service-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ServiceError(
+                f"server did not bind {self.socket_path} within {timeout}s"
+            )
+        return self
+
+    async def _run_until_stopped(self) -> None:
+        self._stop_event = asyncio.Event()
+        await self.start()
+        await self._stop_event.wait()
+        await self.stop()
+
+    def shutdown(self, *, timeout: float = 30.0) -> None:
+        """Stop a threaded server: unbind, optionally drain, join."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise ServiceError("server thread did not stop in time")
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(_LEN.size)
+                except asyncio.IncompleteReadError:
+                    break  # clean EOF
+                (length,) = _LEN.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    await self._send(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": {
+                                "type": "ServiceError",
+                                "message": "frame exceeds protocol cap",
+                            },
+                        },
+                    )
+                    break
+                body = await reader.readexactly(length)
+                response = await self._dispatch(json.loads(body.decode()))
+                await self._send(writer, response)
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        writer.write(_LEN.pack(len(body)) + body)
+        await writer.drain()
+
+    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "status":
+                return {"ok": True, "status": self.service.status()}
+            if op == "color":
+                return await self._handle_color(message)
+            raise ServiceError(f"unknown op {op!r}")
+        except BaseException as exc:  # every failure becomes a frame
+            return {"ok": False, "error": error_to_wire(exc)}
+
+    async def _handle_color(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        graph = None
+        if message.get("graph") is not None:
+            graph = decode_graph(message["graph"])
+        request = JobRequest(
+            graph=graph,
+            dataset=message.get("dataset"),
+            algorithm=message.get("algorithm", "bitwise"),
+            backend=message.get("backend"),
+            engine=message.get("engine"),
+            opts=dict(message.get("opts") or {}),
+            priority=int(message.get("priority", 0)),
+            client_id=str(message.get("client_id", "socket")),
+            timeout_s=message.get("timeout_s"),
+        )
+        loop = asyncio.get_running_loop()
+
+        def submit_and_wait():
+            job = self.service.submit(request)  # RetryAfter propagates
+            return job.result_or_raise()
+
+        result = await loop.run_in_executor(None, submit_and_wait)
+        return {"ok": True, "result": result_to_wire(result)}
+
+
+def serve(
+    socket_path: Union[str, Path],
+    config: Optional[ServiceConfig] = None,
+    *,
+    service: Optional[ColoringService] = None,
+    ready: Optional[threading.Event] = None,
+) -> None:
+    """Run a coloring service on ``socket_path`` until interrupted.
+
+    Builds a fresh :class:`ColoringService` from ``config`` (or adopts
+    ``service``), binds the socket, and blocks.  ``SIGINT``/``SIGTERM``
+    (or :meth:`ServiceServer.shutdown` from another thread) trigger the
+    clean path: stop accepting, drain queued and in-flight jobs, close
+    the service.  SIGTERM matters operationally: supervisors (systemd,
+    CI) send it, and processes backgrounded by non-interactive shells
+    inherit SIGINT ignored, so ctrl-C semantics alone are not enough.
+    ``ready`` is set once the socket is bound (used by embedding tests
+    to know when to connect).
+    """
+    owns = service is None
+    svc = service if service is not None else ColoringService(config)
+    server = ServiceServer(svc, socket_path, owns_service=owns)
+
+    async def main() -> None:
+        server._stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.add_signal_handler(sig, server._stop_event.set)
+        await server.start()
+        if ready is not None:
+            ready.set()
+        try:
+            await server._stop_event.wait()
+        except asyncio.CancelledError:  # pragma: no cover - loop teardown
+            # Swallowing a cancel leaves the task in a cancelling state
+            # where every further await re-raises; undo it so the clean
+            # stop (drain!) below can actually run its awaits.
+            task = asyncio.current_task()
+            if task is not None and hasattr(task, "uncancel"):
+                task.uncancel()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        if owns:
+            svc.close()

@@ -1,0 +1,577 @@
+"""The long-lived coloring service: queue → route → batch → execute.
+
+:class:`ColoringService` is the in-process engine behind both entry
+points (the asyncio socket server and the in-process
+:class:`~repro.service.client.Client`).  One dispatcher thread pulls
+admitted jobs off the priority queue, routes each
+(:class:`~repro.service.router.Router`), coalesces micro-batches
+(:mod:`~repro.service.batcher`), and hands execution units to a small
+thread pool where the fault-tolerant
+:class:`~repro.service.executor.Executor` runs them.  A
+content-addressed :class:`~repro.service.cache.ResultCache` answers
+repeated graphs without touching a kernel.
+
+Lifecycle: construct → ``submit``/``color`` freely from any thread →
+``close()``.  ``close(drain=True)`` (the default) stops admission, lets
+every queued and in-flight job finish, then tears the pool down —
+clean drain-on-shutdown is part of the service contract and is tested.
+
+Observability: every stage feeds the service's
+:class:`~repro.obs.Registry` — ``service.queue_depth`` gauge,
+``service.latency.{queue,route,execute,total}_s`` histograms,
+``service.{shed,retries,degraded}`` and cache/batch counters — and
+:meth:`ColoringService.status` is the ``/healthz``-style snapshot the
+server exposes as an op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .. import __version__
+from ..coloring.registry import get_algorithm
+from ..graph.csr import CSRGraph
+from ..obs import JsonlExporter, Registry
+from .batcher import run_microbatch
+from .cache import ResultCache
+from .executor import Executor
+from .jobs import (
+    Job,
+    JobFailed,
+    JobRequest,
+    JobResult,
+    JobState,
+    JobTimeout,
+    ServiceClosed,
+)
+from .queue import AdmissionQueue
+from .router import RouteDecision, Router
+
+__all__ = ["ColoringService", "ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Every tunable of the service, with serving-friendly defaults."""
+
+    # admission
+    max_queue_depth: int = 256
+    client_quota: Optional[int] = None
+    """Max queued jobs per ``client_id``; None = unlimited."""
+    retry_after_s: float = 0.05
+    """Base backoff hint carried by shed responses."""
+    # execution
+    executors: int = 2
+    """Worker threads draining execution units."""
+    default_timeout_s: Optional[float] = None
+    """Deadline for jobs that do not bring their own; None = none."""
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    failure_threshold: int = 3
+    """Consecutive failures before a backend is degraded."""
+    # micro-batching
+    batching: bool = True
+    batch_max_jobs: int = 16
+    batch_window_s: float = 0.002
+    """How long the dispatcher lingers for companions after the first
+    batchable job; 0 batches only what is already queued."""
+    # routing
+    small_vertices: int = 2048
+    large_vertices: int = 50_000
+    skew_threshold: float = 8.0
+    # caching
+    cache_capacity: int = 128
+    # observability
+    registry: Optional[Registry] = None
+    """Collect into this registry (default: a fresh enabled one)."""
+    obs_path: Optional[Union[str, Path]] = None
+    """Export the registry as JSON-lines here on close (flush-safe)."""
+    # chaos / testing
+    fault_hook: Optional[Callable[[JobRequest, int], None]] = field(
+        default=None, repr=False
+    )
+    """Called before every execution attempt; raising simulates a dying
+    worker.  Test/chaos use only."""
+
+
+class ColoringService:
+    """A running coloring service (in-process)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.registry = cfg.registry if cfg.registry is not None else Registry()
+        self.queue = AdmissionQueue(
+            max_depth=cfg.max_queue_depth,
+            client_quota=cfg.client_quota,
+            retry_after_s=cfg.retry_after_s,
+            registry=self.registry,
+        )
+        self.router = Router(
+            small_vertices=cfg.small_vertices,
+            large_vertices=cfg.large_vertices,
+            skew_threshold=cfg.skew_threshold,
+            batching=cfg.batching,
+        )
+        self.cache = ResultCache(cfg.cache_capacity)
+        self.executor = Executor(
+            registry=self.registry,
+            max_attempts=cfg.max_attempts,
+            backoff_base_s=cfg.backoff_base_s,
+            backoff_cap_s=cfg.backoff_cap_s,
+            failure_threshold=cfg.failure_threshold,
+            fault_hook=cfg.fault_hook,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, cfg.executors),
+            thread_name_prefix="repro-service-exec",
+        )
+        self._unit_slots = threading.Semaphore(max(1, cfg.executors))
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Condition(self._inflight_lock)
+        self._draining = False
+        self._closed = False
+        self._started_at = time.monotonic()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="repro-service-dispatch",
+            daemon=True,
+        )
+        self._stop = threading.Event()
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Admit one job; returns its handle immediately.
+
+        Raises :class:`ServiceClosed` after shutdown began,
+        :class:`RetryAfter` when admission sheds, and plain
+        ``ValueError``/``KeyError`` for malformed requests (bad dataset
+        key, missing graph) — validation is eager so garbage never
+        occupies queue depth.
+        """
+        if self._draining or self._closed:
+            raise ServiceClosed("service is shutting down; no new jobs accepted")
+        request.validate()
+        get_algorithm(request.algorithm)  # KeyError lists the options
+        graph = self._resolve_graph(request)
+        timeout = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        job = Job(request, graph=graph, deadline=deadline)
+        self.queue.push(job)  # may raise RetryAfter
+        self.registry.add("service.jobs.submitted")
+        return job
+
+    def color(
+        self,
+        graph: Optional[CSRGraph] = None,
+        *,
+        dataset: Optional[str] = None,
+        algorithm: str = "bitwise",
+        backend: Optional[str] = None,
+        engine: Optional[str] = None,
+        priority: int = 0,
+        client_id: str = "anon",
+        timeout_s: Optional[float] = None,
+        wait_s: Optional[float] = None,
+        **opts: Any,
+    ) -> JobResult:
+        """Submit and wait — the blocking convenience around :meth:`submit`."""
+        job = self.submit(
+            JobRequest(
+                graph=graph,
+                dataset=dataset,
+                algorithm=algorithm,
+                backend=backend,
+                engine=engine,
+                opts=opts,
+                priority=priority,
+                client_id=client_id,
+                timeout_s=timeout_s,
+            )
+        )
+        return job.result_or_raise(wait_s)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The ``/healthz``-style snapshot (JSON-safe)."""
+        counters = dict(self.registry.counters)
+        with self._inflight_lock:
+            inflight = self._inflight
+        if self._closed:
+            state = "closed"
+        elif self._draining:
+            state = "draining"
+        else:
+            state = "ok"
+        return {
+            "status": state,
+            "version": __version__,
+            "uptime_s": time.monotonic() - self._started_at,
+            "queue_depth": self.queue.depth,
+            "inflight": inflight,
+            "jobs": {
+                key.rsplit(".", 1)[1]: counters.get(key, 0)
+                for key in (
+                    "service.jobs.submitted",
+                    "service.jobs.completed",
+                    "service.jobs.failed",
+                    "service.jobs.timed_out",
+                    "service.shed",
+                    "service.retries",
+                    "service.degraded",
+                )
+            },
+            "batching": {
+                "batches": counters.get("service.batch.batches", 0),
+                "batched_jobs": counters.get("service.batch.jobs", 0),
+            },
+            "cache": self.cache.stats(),
+            "backends": {
+                "failures": self.executor.health.snapshot(),
+                "failure_threshold": self.executor.health.failure_threshold,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until queue and in-flight work are empty; True on success."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self.queue.depth > 0 or self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                # Poll: queue-depth changes do not notify this condition,
+                # and the pop -> inflight handoff has a tiny unlocked window.
+                self._idle.wait(0.1 if remaining is None else min(remaining, 0.1))
+        return True
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the service; with ``drain`` every accepted job finishes first."""
+        if self._closed:
+            return
+        self._draining = True
+        if drain:
+            self.drain(timeout)
+        self._stop.set()
+        self.queue.close()
+        self._dispatcher.join(timeout=5)
+        self._pool.shutdown(wait=drain)
+        self._closed = True
+        if self.config.obs_path is not None:
+            with JsonlExporter(self.config.obs_path) as exporter:
+                exporter.export(self.registry)
+
+    def __enter__(self) -> "ColoringService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_graph(self, request: JobRequest) -> CSRGraph:
+        if request.graph is not None:
+            return request.graph
+        from ..experiments import DATASET_KEYS, load_dataset
+
+        if request.dataset not in DATASET_KEYS:
+            raise ValueError(
+                f"unknown dataset {request.dataset!r}; options: {DATASET_KEYS}"
+            )
+        return load_dataset(request.dataset, preprocessed=True)
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            # Backpressure: never pop past executor capacity.  Waiting
+            # jobs stay in the admission queue — where depth and quotas
+            # are measured and shedding happens — instead of piling into
+            # an unbounded pool backlog, and priority keeps meaning
+            # something while the executors are busy.
+            if not self._unit_slots.acquire(timeout=0.05):
+                continue
+            job = self.queue.pop(timeout=0.05)
+            if job is None:
+                self._unit_slots.release()
+                continue
+            self._mark_inflight(+1)
+            try:
+                self._dispatch_one(job)
+            except Exception as exc:  # defensive: dispatcher must survive
+                job.fail(JobFailed(f"dispatch error: {exc!r}"))
+                self._finish_accounting(job)
+                self._mark_inflight(-1)
+                self._unit_slots.release()
+
+    def _dispatch_one(self, job: Job) -> None:
+        t0 = time.monotonic()
+        decision = self.router.route(job.request, job.graph)
+        self.registry.observe("service.latency.route_s", time.monotonic() - t0)
+        if decision.lane == "batch":
+            batch = [job] + self._collect_companions(decision, exclude=job)
+            for extra in batch[1:]:
+                self._mark_inflight(+1)
+            self._pool.submit(self._run_unit, self._run_batch, batch, decision)
+        else:
+            self._pool.submit(self._run_unit, self._run_single, job, decision)
+
+    def _run_unit(self, fn, *args) -> None:
+        """One pool task = one execution slot; release it no matter what."""
+        try:
+            fn(*args)
+        finally:
+            self._unit_slots.release()
+
+    def _collect_companions(
+        self, decision: RouteDecision, *, exclude: Job
+    ) -> List[Job]:
+        """Sweep the queue (and linger ``batch_window_s``) for batch mates."""
+        limit = self.config.batch_max_jobs - 1
+        if limit <= 0:
+            return []
+
+        def matches(candidate: Job) -> bool:
+            if candidate is exclude:
+                return False
+            mate = self.router.route(candidate.request, candidate.graph)
+            return mate.lane == "batch" and mate.batch_key == decision.batch_key
+
+        companions = self.queue.drain_matching(matches, limit)
+        window_end = time.monotonic() + self.config.batch_window_s
+        while len(companions) < limit:
+            remaining = window_end - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(remaining, 0.0005))
+            companions.extend(
+                self.queue.drain_matching(matches, limit - len(companions))
+            )
+        return companions
+
+    # -- execution units (run on the pool) ------------------------------
+    def _begin(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started_at = time.monotonic()
+        self.registry.observe(
+            "service.latency.queue_s", job.started_at - job.submitted_at
+        )
+
+    def _run_single(self, job: Job, decision: RouteDecision) -> None:
+        try:
+            self._begin(job)
+            if self._fail_if_expired(job):
+                return
+            if self._complete_from_cache(job, decision):
+                return
+            t0 = time.monotonic()
+            colors, n_colors, backend, engine, attempts = (
+                self.executor.run_request(
+                    job.request,
+                    job.graph,
+                    decision.backend,
+                    decision.engine,
+                    deadline=job.deadline,
+                )
+            )
+            execute_s = time.monotonic() - t0
+            self.registry.observe("service.latency.execute_s", execute_s)
+            # A degraded job ran on a different rung than its cache key
+            # pins; keep such results out of the cache so a pinned-backend
+            # entry always means "computed by that backend".
+            if backend == (job.request.backend or backend):
+                self.cache.put(job.request, job.graph, colors, n_colors)
+            job.attempts = attempts
+            job.complete(
+                self._result(
+                    job,
+                    colors=colors,
+                    n_colors=n_colors,
+                    backend=backend,
+                    engine=engine,
+                    route=decision.label,
+                    attempts=attempts,
+                    execute_s=execute_s,
+                )
+            )
+        except (JobTimeout, JobFailed) as exc:
+            job.fail(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            job.fail(JobFailed(f"unexpected service error: {exc!r}"))
+        finally:
+            self._finish_accounting(job)
+            self._mark_inflight(-1)
+
+    def _run_batch(self, batch: List[Job], decision: RouteDecision) -> None:
+        """One micro-batch: shared union coloring, per-job completion.
+
+        Cache hits and expired jobs peel off first; if the union run
+        itself fails, every remaining job falls back to the single-job
+        path (with its full retry/degradation machinery) rather than
+        failing the whole batch.
+        """
+        runnable: List[Job] = []
+        for job in batch:
+            # Per-job guard: a failure peeling one job (cache lookup,
+            # bookkeeping) must fail that job alone, never strand the
+            # rest of the batch with in-flight accounting still held.
+            try:
+                self._begin(job)
+                if self._fail_if_expired(job):
+                    self._finish_accounting(job)
+                    self._mark_inflight(-1)
+                elif self._complete_from_cache(job, decision):
+                    self._finish_accounting(job)
+                    self._mark_inflight(-1)
+                else:
+                    runnable.append(job)
+            except Exception as exc:  # pragma: no cover - defensive
+                job.fail(JobFailed(f"batch admission error: {exc!r}"))
+                self._finish_accounting(job)
+                self._mark_inflight(-1)
+        try:
+            if not runnable:
+                return
+            t0 = time.monotonic()
+            with self.registry.span(
+                "service.microbatch",
+                jobs=len(runnable),
+                key=str(decision.batch_key),
+            ):
+                results = run_microbatch(
+                    [job.graph for job in runnable], decision.batch_key
+                )
+            execute_s = time.monotonic() - t0
+            self.registry.add("service.batch.batches")
+            self.registry.add("service.batch.jobs", len(runnable))
+            self.registry.observe("service.batch.size", len(runnable))
+            self.registry.observe("service.latency.execute_s", execute_s)
+            for job, (colors, n_colors) in zip(runnable, results):
+                self.cache.put(job.request, job.graph, colors, n_colors)
+                job.attempts = 1
+                job.complete(
+                    self._result(
+                        job,
+                        colors=colors,
+                        n_colors=n_colors,
+                        backend=decision.backend,
+                        engine=None,
+                        route=decision.label,
+                        attempts=1,
+                        execute_s=execute_s,
+                        batched=len(runnable),
+                    )
+                )
+                self._finish_accounting(job)
+                self._mark_inflight(-1)
+        except Exception:
+            # The shared run failed; give each job its own fair shot.
+            self.registry.add("service.batch.fallbacks")
+            for job in runnable:
+                if not job.done:
+                    self._run_single(job, decision)
+
+    def _complete_from_cache(self, job: Job, decision: RouteDecision) -> bool:
+        cached = self.cache.get(job.request, job.graph)
+        if cached is None:
+            if ResultCache.cacheable(job.request):
+                self.registry.add("service.cache.misses")
+            return False
+        self.registry.add("service.cache.hits")
+        colors, n_colors = cached
+        job.complete(
+            self._result(
+                job,
+                colors=colors,
+                n_colors=n_colors,
+                backend=job.request.backend,
+                engine=job.request.engine,
+                route=decision.label + " (cached)",
+                attempts=0,
+                execute_s=0.0,
+                cache_hit=True,
+            )
+        )
+        return True
+
+    def _fail_if_expired(self, job: Job) -> bool:
+        if job.expired():
+            job.fail(
+                JobTimeout(
+                    f"job {job.request.job_id} spent its "
+                    f"{job.request.timeout_s or self.config.default_timeout_s}s "
+                    "budget before execution"
+                )
+            )
+            return True
+        return False
+
+    def _result(
+        self,
+        job: Job,
+        *,
+        colors,
+        n_colors: int,
+        backend: Optional[str],
+        engine: Optional[str],
+        route: str,
+        attempts: int,
+        execute_s: float,
+        cache_hit: bool = False,
+        batched: int = 0,
+    ) -> JobResult:
+        now = time.monotonic()
+        return JobResult(
+            colors=colors,
+            n_colors=n_colors,
+            algorithm=job.request.algorithm,
+            backend=backend,
+            engine=engine,
+            route=route,
+            cache_hit=cache_hit,
+            batched=batched,
+            attempts=attempts,
+            timings={
+                "queue": (job.started_at or now) - job.submitted_at,
+                "execute": execute_s,
+                "total": now - job.submitted_at,
+            },
+        )
+
+    def _finish_accounting(self, job: Job) -> None:
+        if job.state == JobState.DONE:
+            self.registry.add("service.jobs.completed")
+        elif job.state == JobState.TIMED_OUT:
+            self.registry.add("service.jobs.timed_out")
+        else:
+            self.registry.add("service.jobs.failed")
+        if job.finished_at is not None:
+            self.registry.observe(
+                "service.latency.total_s", job.finished_at - job.submitted_at
+            )
+
+    def _mark_inflight(self, delta: int) -> None:
+        with self._idle:
+            self._inflight += delta
+            if self._inflight <= 0:
+                self._idle.notify_all()

@@ -109,3 +109,124 @@ class TestStreaming:
                 present.add(key)
             inc.validate()
         assert inc.to_graph().num_undirected_edges == len(present)
+
+
+class TestEdgePaths:
+    """Previously-untested edges: clash repairs, no-ops, invalid input."""
+
+    def test_clash_recolors_smaller_neighbourhood_endpoint(self):
+        inc = IncrementalColoring(4)
+        inc.add_edge(0, 1)  # both color 1 -> vertex 0 repairs to color 2
+        inc.add_edge(0, 2)  # 2 (color 1) vs 0 (color 2): no clash
+        assert inc.color_of(2) == 1
+        # Clash between 2 (degree 2 after insert) and 3 (degree 1): the
+        # endpoint with the smaller neighbourhood — 3 — must repair.
+        c2 = inc.color_of(2)
+        assert inc.add_edge(2, 3) is True
+        assert inc.color_of(2) == c2  # larger-neighbourhood endpoint kept
+        assert inc.color_of(3) != c2  # smaller one moved off the clash
+        inc.validate()
+
+    def test_insert_cascade_opens_new_color(self):
+        # Growing K2 -> K3 -> K4 must end at 4 distinct colors, each
+        # insertion repairing exactly the colliding endpoint.
+        inc = IncrementalColoring(4)
+        for u in range(4):
+            for v in range(u + 1, 4):
+                inc.add_edge(u, v)
+                inc.validate()
+        assert inc.num_colors() == 4
+        assert inc.stats.conflicts_repaired >= 3
+
+    def test_clash_repair_picks_first_free_color(self):
+        inc = IncrementalColoring(3)
+        inc.add_edge(0, 1)
+        inc.add_edge(1, 2)  # 2 collides with neither or repairs cheaply
+        inc.add_edge(0, 2)  # triangle: someone needs a third color
+        inc.validate()
+        colors = {inc.color_of(v) for v in range(3)}
+        assert colors == {1, 2, 3}  # first-free never skips a color
+
+    def test_noop_duplicate_add_keeps_stats_and_colors(self):
+        inc = IncrementalColoring(3)
+        inc.add_edge(0, 1)
+        snapshot = (
+            inc.stats.edges_added,
+            inc.stats.conflicts_repaired,
+            inc.stats.vertices_recolored,
+            inc.stats.recolor_work,
+        )
+        colors_before = inc.colors().tolist()
+        assert inc.add_edge(0, 1) is False
+        assert inc.add_edge(1, 0) is False
+        assert (
+            inc.stats.edges_added,
+            inc.stats.conflicts_repaired,
+            inc.stats.vertices_recolored,
+            inc.stats.recolor_work,
+        ) == snapshot
+        assert inc.colors().tolist() == colors_before
+
+    def test_noop_remove_missing_edge(self):
+        inc = IncrementalColoring(3)
+        colors_before = inc.colors().tolist()
+        inc.remove_edge(0, 2)
+        assert inc.stats.edges_removed == 0
+        assert inc.colors().tolist() == colors_before
+        inc.validate()
+
+    def test_invalid_vertices_rejected_everywhere(self):
+        inc = IncrementalColoring(2)
+        with pytest.raises(IndexError, match="out of range"):
+            inc.add_edge(-1, 0)
+        with pytest.raises(IndexError, match="out of range"):
+            inc.add_edge(0, 2)
+        with pytest.raises(IndexError, match="out of range"):
+            inc.remove_edge(0, 2)
+        with pytest.raises(IndexError, match="out of range"):
+            inc.remove_edge(5, 0)
+        # Failed calls must leave no half-inserted state behind.
+        assert inc.stats.edges_added == 0
+        assert inc.to_graph().num_undirected_edges == 0
+
+    def test_empty_instance_operations(self):
+        inc = IncrementalColoring(0)
+        assert inc.num_vertices == 0
+        assert inc.num_colors() == 0
+        assert inc.compact().tolist() == []
+        inc.validate()
+        v = inc.add_vertex()
+        assert v == 0 and inc.color_of(0) == 1
+
+    def test_compact_after_removals_closes_gaps(self):
+        # Build a triangle (3 colors), then delete edges so color 3's
+        # holder could legally wear color 1 — compact renumbers densely.
+        inc = IncrementalColoring(3)
+        inc.add_edge(0, 1)
+        inc.add_edge(1, 2)
+        inc.add_edge(0, 2)
+        high = max(inc.color_of(v) for v in range(3))
+        assert high == 3
+        # Recolor vertex colors into a gappy set by removing and re-adding.
+        inc.remove_edge(0, 1)
+        inc._colors[0] = 7  # simulate a gap a long stream could produce
+        inc._colors[1] = 7  # both legal: 0-1 edge is gone
+        inc.validate()
+        compacted = inc.compact()
+        used = sorted(set(compacted.tolist()))
+        assert used == list(range(1, len(used) + 1))
+        inc.validate()
+
+    def test_validate_detects_manufactured_conflict(self):
+        inc = IncrementalColoring(2)
+        inc.add_edge(0, 1)
+        inc._colors[1] = inc._colors[0]  # corrupt on purpose
+        with pytest.raises(AssertionError, match="conflict"):
+            inc.validate()
+
+    def test_repair_stats_track_scan_work(self):
+        inc = IncrementalColoring(2)
+        inc.add_edge(0, 1)  # both were color 1: one endpoint repairs
+        assert inc.stats.conflicts_repaired == 1
+        assert inc.stats.vertices_recolored == 1
+        assert inc.stats.recolor_work >= 1

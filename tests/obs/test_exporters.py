@@ -77,3 +77,80 @@ def test_console_exporter_empty_registry():
 def test_snapshot_from_records_rejects_unknown_type():
     with pytest.raises(ValueError, match="unknown record type"):
         snapshot_from_records([{"type": "mystery"}])
+
+
+class TestJsonlFlushSafety:
+    """The flush/close/atexit contract: no records lost on early exit."""
+
+    def test_export_is_flushed_before_close(self, tmp_path):
+        from repro.obs.exporters import JsonlExporter
+
+        reg = populated_registry()
+        exporter = JsonlExporter(tmp_path / "run.jsonl")
+        path = exporter.export(reg)
+        # No close() yet — the artifact must already be complete on disk.
+        assert read_jsonl(path) == reg.to_records()
+        exporter.close()
+
+    def test_atexit_guard_closes_open_exporters(self, tmp_path):
+        from repro.obs.exporters import (
+            _OPEN_EXPORTERS, JsonlExporter, close_all_exporters,
+        )
+
+        reg = populated_registry()
+        exporter = JsonlExporter(tmp_path / "worker.jsonl")
+        exporter.export(reg)
+        assert exporter in _OPEN_EXPORTERS
+        # Simulate the interpreter going down with the handle still open.
+        assert close_all_exporters() >= 1
+        assert exporter not in _OPEN_EXPORTERS
+        assert exporter._fh is None
+        assert read_jsonl(tmp_path / "worker.jsonl") == reg.to_records()
+
+    def test_close_is_idempotent(self, tmp_path):
+        from repro.obs.exporters import JsonlExporter
+
+        exporter = JsonlExporter(tmp_path / "x.jsonl")
+        exporter.export(Registry())
+        exporter.close()
+        exporter.close()  # second close must not raise
+        exporter.flush()  # nor flush after close
+
+    def test_reexport_rewrites_not_duplicates(self, tmp_path):
+        from repro.obs.exporters import JsonlExporter
+
+        reg = Registry()
+        reg.add("events", 1)
+        with JsonlExporter(tmp_path / "r.jsonl") as exporter:
+            exporter.export(reg)
+            reg.add("events", 1)
+            path = exporter.export(reg)
+            records = read_jsonl(path)
+        assert records == reg.to_records()
+        assert sum(r["type"] == "counter" for r in records) == 1
+
+    def test_append_mode_accumulates(self, tmp_path):
+        from repro.obs.exporters import JsonlExporter
+
+        path = tmp_path / "stream.jsonl"
+        with JsonlExporter(path, append=True) as exporter:
+            first = Registry()
+            first.add("jobs", 1)
+            exporter.export(first)
+            second = Registry()
+            second.add("jobs", 2)
+            exporter.export(second)
+        records = read_jsonl(path)
+        counters = [r for r in records if r["type"] == "counter"]
+        assert [c["value"] for c in counters] == [1, 2]
+
+    def test_reopen_after_close_appends_fresh_handle(self, tmp_path):
+        from repro.obs.exporters import JsonlExporter
+
+        path = tmp_path / "again.jsonl"
+        exporter = JsonlExporter(path, append=True)
+        exporter.write_records([{"type": "counter", "name": "a", "value": 1}])
+        exporter.close()
+        exporter.write_records([{"type": "counter", "name": "b", "value": 2}])
+        exporter.close()
+        assert [r["name"] for r in read_jsonl(path)] == ["a", "b"]

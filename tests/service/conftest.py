@@ -1,0 +1,34 @@
+"""Shared fixtures for the service test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import erdos_renyi
+from repro.obs import Registry
+from repro.service import ColoringService, ServiceConfig
+
+
+@pytest.fixture
+def small_graphs():
+    """A handful of distinct small graphs (all under the batch threshold)."""
+    return [
+        erdos_renyi(80 + 17 * i, 0.08, seed=100 + i, name=f"small{i}")
+        for i in range(6)
+    ]
+
+
+@pytest.fixture
+def service_factory():
+    """Build services that are always torn down, even on test failure."""
+    created = []
+
+    def make(**overrides) -> ColoringService:
+        overrides.setdefault("registry", Registry())
+        svc = ColoringService(ServiceConfig(**overrides))
+        created.append(svc)
+        return svc
+
+    yield make
+    for svc in created:
+        svc.close(drain=False, timeout=5)

@@ -1,0 +1,178 @@
+"""Executor: retries, backoff, backend health, the degradation walk."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.graph import erdos_renyi
+from repro.obs import Registry
+from repro.service import BackendHealth, Executor, JobFailed, JobRequest, JobTimeout
+
+
+def make_executor(registry=None, **kw) -> Executor:
+    kw.setdefault("backoff_base_s", 0.001)
+    kw.setdefault("backoff_cap_s", 0.002)
+    return Executor(registry=registry or Registry(), **kw)
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(60, 0.1, seed=5, name="exec")
+
+
+class TestBackendHealth:
+    def test_threshold_marks_broken(self):
+        health = BackendHealth(failure_threshold=2)
+        assert not health.broken("parallel")
+        health.record_failure("parallel")
+        assert not health.broken("parallel")
+        health.record_failure("parallel")
+        assert health.broken("parallel")
+
+    def test_success_heals(self):
+        health = BackendHealth(failure_threshold=2)
+        health.record_failure("parallel")
+        health.record_success("parallel")
+        health.record_failure("parallel")
+        assert not health.broken("parallel")
+
+    def test_effective_walks_ladder(self):
+        health = BackendHealth(failure_threshold=1)
+        health.record_failure("parallel")
+        assert health.effective("parallel") == "vectorized"
+        health.record_failure("vectorized")
+        assert health.effective("parallel") == "python"
+        assert health.effective(None) is None
+
+    def test_floor_is_kept_even_when_broken(self):
+        health = BackendHealth(failure_threshold=1)
+        health.record_failure("python")
+        assert health.effective("python") == "python"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendHealth(failure_threshold=0)
+        with pytest.raises(ValueError):
+            make_executor(max_attempts=0)
+
+
+class TestRetries:
+    def test_transient_fault_retried_to_success(self, graph):
+        reg = Registry()
+        failures = {"left": 2}
+
+        def chaos(request, attempt):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("worker died mid-job")
+
+        ex = make_executor(reg, max_attempts=3, fault_hook=chaos)
+        request = JobRequest(graph=graph)
+        colors, n_colors, backend, engine, attempts = ex.run_request(
+            request, graph, "vectorized", None
+        )
+        assert attempts == 3
+        assert np.array_equal(colors, repro.color(graph).colors)
+        assert reg.counters["service.retries"] == 2
+        assert reg.counters["service.attempt_failures"] == 2
+
+    def test_exhausted_attempts_raise_job_failed(self, graph):
+        def chaos(request, attempt):
+            raise RuntimeError("always down")
+
+        ex = make_executor(max_attempts=2, fault_hook=chaos)
+        with pytest.raises(JobFailed, match="after 2 attempts"):
+            ex.run_request(JobRequest(graph=graph), graph, "vectorized", None)
+
+    def test_backoff_grows_and_caps(self, graph):
+        delays = []
+        ex = make_executor(backoff_base_s=0.01, backoff_cap_s=0.02)
+        real_sleep = time.sleep
+        try:
+            time.sleep = delays.append
+            ex._backoff(1)
+            ex._backoff(2)
+            ex._backoff(3)
+        finally:
+            time.sleep = real_sleep
+        assert delays == [0.01, 0.02, 0.02]
+
+    def test_deadline_checked_between_attempts(self, graph):
+        def chaos(request, attempt):
+            raise RuntimeError("down")
+
+        ex = make_executor(max_attempts=5, fault_hook=chaos)
+        with pytest.raises((JobTimeout, JobFailed)):
+            ex.run_request(
+                JobRequest(graph=graph),
+                graph,
+                "vectorized",
+                None,
+                deadline=time.monotonic() - 1,
+            )
+
+
+class TestDegradation:
+    def test_single_job_degrades_mid_retries(self, graph):
+        """parallel fails twice -> broken -> the third attempt runs one
+        rung down and succeeds; the walk is visible in obs counters."""
+        reg = Registry()
+        seen = []
+
+        def chaos(request, attempt):
+            seen.append(attempt)
+            if attempt <= 2:
+                raise RuntimeError("pool worker killed")
+
+        ex = make_executor(
+            reg, max_attempts=3, failure_threshold=2, fault_hook=chaos
+        )
+        colors, _, backend, _, attempts = ex.run_request(
+            JobRequest(graph=graph, backend="parallel"),
+            graph,
+            "parallel",
+            None,
+        )
+        assert attempts == 3
+        assert backend == "vectorized"  # degraded off the broken rung
+        assert np.array_equal(colors, repro.color(graph).colors)
+        assert reg.counters["service.degraded"] >= 1
+        assert reg.counters["service.degraded.parallel_to_vectorized"] >= 1
+
+    def test_broken_backend_degrades_next_job_upfront(self, graph):
+        reg = Registry()
+        ex = make_executor(reg, failure_threshold=1)
+        ex.health.record_failure("parallel")
+        _, _, backend, _, attempts = ex.run_request(
+            JobRequest(graph=graph, backend="parallel"),
+            graph,
+            "parallel",
+            None,
+        )
+        assert backend == "vectorized"
+        assert attempts == 1
+        assert reg.counters["service.degraded.parallel_to_vectorized"] == 1
+
+    def test_success_resets_health(self, graph):
+        ex = make_executor(failure_threshold=2)
+        ex.health.record_failure("vectorized")
+        ex.run_request(JobRequest(graph=graph), graph, "vectorized", None)
+        assert ex.health.snapshot() == {}
+
+    def test_engine_dropped_when_degraded_off_hw(self, graph):
+        """A job degraded off backend=hw must not leak engine= to the
+        software backend (repro.color would reject it)."""
+        ex = make_executor(failure_threshold=1)
+        ex.health.record_failure("hw")
+        _, _, backend, engine, _ = ex.run_request(
+            JobRequest(graph=graph, backend="hw", engine="batched"),
+            graph,
+            "hw",
+            "batched",
+        )
+        assert backend == "vectorized"
+        assert engine is None

@@ -1,0 +1,142 @@
+"""AdmissionQueue: priority order, bounded depth, quotas, shedding."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.graph import path_graph
+from repro.obs import Registry
+from repro.service import AdmissionQueue, Job, JobRequest, RetryAfter
+
+
+def make_job(priority: int = 0, client_id: str = "anon") -> Job:
+    req = JobRequest(
+        graph=path_graph(4), priority=priority, client_id=client_id
+    )
+    return Job(req)
+
+
+class TestOrdering:
+    def test_priority_pops_first(self):
+        q = AdmissionQueue(max_depth=10)
+        low = make_job(priority=0)
+        high = make_job(priority=5)
+        q.push(low)
+        q.push(high)
+        assert q.pop(timeout=0) is high
+        assert q.pop(timeout=0) is low
+
+    def test_ties_break_fifo(self):
+        q = AdmissionQueue(max_depth=10)
+        jobs = [make_job(priority=1) for _ in range(5)]
+        for job in jobs:
+            q.push(job)
+        assert [q.pop(timeout=0) for _ in jobs] == jobs
+
+    def test_pop_empty_times_out(self):
+        q = AdmissionQueue(max_depth=4)
+        assert q.pop(timeout=0.01) is None
+
+    def test_pop_blocks_until_push(self):
+        q = AdmissionQueue(max_depth=4)
+        job = make_job()
+        got = []
+
+        def consumer():
+            got.append(q.pop(timeout=5))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.push(job)
+        t.join(timeout=5)
+        assert got == [job]
+
+
+class TestAdmission:
+    def test_shed_on_depth(self):
+        reg = Registry()
+        q = AdmissionQueue(max_depth=2, registry=reg)
+        q.push(make_job())
+        q.push(make_job())
+        with pytest.raises(RetryAfter) as exc:
+            q.push(make_job())
+        assert exc.value.retry_after_s > 0
+        assert reg.counters["service.shed"] == 1
+        assert reg.counters["service.shed.queue_full"] == 1
+        assert q.depth == 2  # the shed job never entered
+
+    def test_shed_on_client_quota(self):
+        reg = Registry()
+        q = AdmissionQueue(max_depth=10, client_quota=2, registry=reg)
+        q.push(make_job(client_id="a"))
+        q.push(make_job(client_id="a"))
+        q.push(make_job(client_id="b"))  # other clients unaffected
+        with pytest.raises(RetryAfter, match="quota"):
+            q.push(make_job(client_id="a"))
+        assert reg.counters["service.shed.client_quota"] == 1
+
+    def test_quota_released_on_pop(self):
+        q = AdmissionQueue(max_depth=10, client_quota=1)
+        q.push(make_job(client_id="a"))
+        q.pop(timeout=0)
+        q.push(make_job(client_id="a"))  # must not shed
+        assert q.client_queued("a") == 1
+
+    def test_depth_gauge_tracks(self):
+        reg = Registry()
+        q = AdmissionQueue(max_depth=10, registry=reg)
+        q.push(make_job())
+        assert reg.gauges["service.queue_depth"] == 1
+        q.pop(timeout=0)
+        assert reg.gauges["service.queue_depth"] == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=1, client_quota=0)
+
+
+class TestDrainMatching:
+    def test_takes_matches_in_order_keeps_rest(self):
+        q = AdmissionQueue(max_depth=10)
+        wanted = [make_job(client_id="x") for _ in range(3)]
+        other = [make_job(client_id="y") for _ in range(2)]
+        for job in [wanted[0], other[0], wanted[1], other[1], wanted[2]]:
+            q.push(job)
+        taken = q.drain_matching(
+            lambda j: j.request.client_id == "x", limit=10
+        )
+        assert taken == wanted
+        assert q.depth == 2
+        assert q.pop(timeout=0) is other[0]
+
+    def test_limit_respected(self):
+        q = AdmissionQueue(max_depth=10)
+        for _ in range(5):
+            q.push(make_job())
+        taken = q.drain_matching(lambda j: True, limit=2)
+        assert len(taken) == 2
+        assert q.depth == 3
+
+    def test_quota_released_for_taken(self):
+        q = AdmissionQueue(max_depth=10, client_quota=2)
+        q.push(make_job(client_id="a"))
+        q.drain_matching(lambda j: True, limit=1)
+        assert q.client_queued("a") == 0
+
+
+def test_close_wakes_blocked_pop():
+    q = AdmissionQueue(max_depth=4)
+    out = []
+
+    def consumer():
+        out.append(q.pop(timeout=10))
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    q.close()
+    t.join(timeout=5)
+    assert out == [None]

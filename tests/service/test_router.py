@@ -1,0 +1,127 @@
+"""Router: lane choice, size/skew heuristics, the degradation ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import erdos_renyi, road_grid, star_graph
+from repro.service import DEGRADATION_LADDER, JobRequest, Router, next_rung
+
+
+def route(router, graph, **kw):
+    kw.setdefault("graph", graph)
+    return router.route(JobRequest(**kw), graph)
+
+
+class TestLanes:
+    def test_small_unpinned_goes_to_batch(self):
+        router = Router(small_vertices=2048)
+        g = erdos_renyi(100, 0.1, seed=1)
+        decision = route(router, g)
+        assert decision.lane == "batch"
+        assert decision.backend == "vectorized"
+        assert decision.batch_key is not None
+
+    def test_small_pinned_software_still_batches(self):
+        router = Router()
+        g = erdos_renyi(100, 0.1, seed=1)
+        decision = route(router, g, backend="python")
+        assert decision.lane == "batch"
+        assert decision.backend == "python"
+
+    def test_pinned_hw_never_batches(self):
+        router = Router()
+        g = erdos_renyi(100, 0.1, seed=1)
+        decision = route(router, g, backend="hw", engine="batched")
+        assert decision.lane == "direct"
+        assert decision.backend == "hw"
+        assert decision.engine == "batched"
+
+    def test_batching_disabled(self):
+        router = Router(batching=False)
+        g = erdos_renyi(100, 0.1, seed=1)
+        assert route(router, g).lane == "direct"
+
+    def test_seeded_algorithm_never_batches(self):
+        router = Router()
+        g = erdos_renyi(100, 0.1, seed=1)
+        decision = route(router, g, algorithm="jp", opts={"seed": 0})
+        assert decision.lane == "direct"
+
+
+class TestSizeSkewHeuristics:
+    def test_large_skewed_goes_parallel(self):
+        # A star graph has max/mean degree ratio ~ n/2 — extreme skew.
+        router = Router(
+            small_vertices=64, large_vertices=1000, skew_threshold=8.0
+        )
+        g = star_graph(5000)
+        decision = route(router, g)
+        assert decision.lane == "direct"
+        assert decision.backend == "parallel"
+        assert "skewed" in decision.reason
+
+    def test_large_regular_goes_hw_batched(self):
+        # A road grid's degree is nearly uniform (max 4, mean ~4).
+        router = Router(
+            small_vertices=64, large_vertices=1000, skew_threshold=8.0
+        )
+        g = road_grid(40, 40, seed=1)
+        decision = route(router, g)
+        assert decision.lane == "direct"
+        assert decision.backend == "hw"
+        assert decision.engine == "batched"
+        assert "regular" in decision.reason
+
+    def test_midsize_takes_default_backend(self):
+        router = Router(small_vertices=64, large_vertices=100_000)
+        g = erdos_renyi(500, 0.02, seed=2)
+        decision = route(router, g)
+        assert decision.lane == "direct"
+        assert decision.backend == "vectorized"
+        assert "default" in decision.reason
+
+    def test_algorithm_without_parallel_backend_stays_default(self):
+        router = Router(small_vertices=64, large_vertices=1000)
+        g = star_graph(5000)
+        decision = route(router, g, algorithm="jp", opts={"seed": 0})
+        assert decision.backend == "vectorized"
+
+    def test_pinned_large_not_rerouted(self):
+        router = Router(small_vertices=64, large_vertices=1000)
+        g = star_graph(5000)
+        decision = route(router, g, backend="vectorized")
+        assert decision.backend == "vectorized"
+        assert "pinned" in decision.reason
+
+
+class TestDegradationLadder:
+    def test_ladder_shape(self):
+        assert DEGRADATION_LADDER == {
+            "parallel": "vectorized",
+            "hw": "vectorized",
+            "vectorized": "python",
+        }
+
+    def test_next_rung_walk(self):
+        assert next_rung("parallel") == "vectorized"
+        assert next_rung("hw") == "vectorized"
+        assert next_rung("vectorized") == "python"
+        assert next_rung("python") is None
+        assert next_rung(None) is None
+
+    def test_ladder_terminates(self):
+        for start in DEGRADATION_LADDER:
+            backend, hops = start, 0
+            while backend is not None:
+                backend = next_rung(backend)
+                hops += 1
+                assert hops < 10
+
+
+def test_decision_label_mentions_everything():
+    router = Router()
+    g = star_graph(5000)
+    decision = route(router, g, backend="hw", engine="batched")
+    assert "hw" in decision.label
+    assert "batched" in decision.label

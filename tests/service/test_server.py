@@ -1,0 +1,256 @@
+"""Wire protocol codec and the Unix-socket server round trip."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments import load_dataset
+from repro.graph import csr_fingerprint, erdos_renyi
+from repro.service import Client, JobResult, RetryAfter, ServiceError, connect
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_colors,
+    decode_graph,
+    encode_colors,
+    encode_graph,
+    error_to_wire,
+    read_frame,
+    result_from_wire,
+    result_to_wire,
+    wire_to_error,
+    write_frame,
+)
+from repro.service.jobs import JobFailed, JobTimeout, ServiceClosed
+from repro.service.server import ServiceServer
+
+
+class TestCodec:
+    def test_graph_roundtrip_preserves_fingerprint(self):
+        g = erdos_renyi(200, 0.05, seed=11, name="wire")
+        back = decode_graph(encode_graph(g))
+        assert back.num_vertices == g.num_vertices
+        assert np.array_equal(back.offsets, g.offsets)
+        assert np.array_equal(back.edges, g.edges)
+        assert back.name == "wire"
+        # The cache contract survives the wire: identical fingerprint.
+        assert csr_fingerprint(back) == csr_fingerprint(g)
+
+    def test_graph_frame_consistency_checked(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        data = encode_graph(g)
+        data["n"] = 99
+        with pytest.raises(ServiceError, match="inconsistent"):
+            decode_graph(data)
+
+    def test_colors_roundtrip(self):
+        colors = np.array([1, 5, 2, 7], dtype=np.int64)
+        back = decode_colors(encode_colors(colors))
+        assert np.array_equal(back, colors)
+        assert back.dtype == np.int64
+
+    def test_result_roundtrip(self):
+        result = JobResult(
+            colors=np.array([1, 2, 1], dtype=np.int64),
+            n_colors=2,
+            algorithm="bitwise",
+            backend="vectorized",
+            engine=None,
+            route="batch (small)",
+            cache_hit=True,
+            batched=3,
+            attempts=2,
+            timings={"queue": 0.1, "execute": 0.2, "total": 0.3},
+        )
+        back = result_from_wire(result_to_wire(result))
+        assert np.array_equal(back.colors, result.colors)
+        for attr in (
+            "n_colors",
+            "algorithm",
+            "backend",
+            "engine",
+            "route",
+            "cache_hit",
+            "batched",
+            "attempts",
+            "timings",
+        ):
+            assert getattr(back, attr) == getattr(result, attr)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            RetryAfter("queue full", 0.25),
+            JobTimeout("too slow"),
+            JobFailed("all attempts spent"),
+            ServiceClosed("shutting down"),
+            ServiceError("generic"),
+        ],
+    )
+    def test_error_roundtrip(self, exc):
+        back = wire_to_error(error_to_wire(exc))
+        assert type(back) is type(exc)
+        assert str(back) == str(exc)
+        if isinstance(exc, RetryAfter):
+            assert back.retry_after_s == exc.retry_after_s
+
+    def test_unknown_error_type_becomes_service_error(self):
+        back = wire_to_error(error_to_wire(ValueError("surprise")))
+        assert type(back) is ServiceError
+        assert "surprise" in str(back)
+
+    def test_frames_over_plain_sockets(self):
+        a, b = socket.socketpair()
+        try:
+            write_frame(a, {"op": "ping", "nested": {"x": [1, 2]}})
+            assert read_frame(b) == {"op": "ping", "nested": {"x": [1, 2]}}
+            a.close()
+            assert read_frame(b) is None  # clean EOF
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        import struct
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ServiceError, match="cap"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+@pytest.fixture
+def served(service_factory, tmp_path):
+    """A socket server on a background thread over a fresh service."""
+    svc = service_factory(executors=2, batch_window_s=0.01)
+    path = tmp_path / "svc.sock"
+    server = ServiceServer(svc, path).run_in_thread()
+    yield path, svc
+    server.shutdown()
+
+
+class TestSocketServer:
+    def test_ping_and_status(self, served):
+        path, _ = served
+        with connect(path) as client:
+            assert client.ping()
+            status = client.status()
+            assert status["status"] == "ok"
+            assert "queue_depth" in status
+
+    def test_inline_graph_parity(self, served):
+        path, _ = served
+        g = erdos_renyi(300, 0.03, seed=21, name="socket")
+        with connect(path, client_id="t") as client:
+            served_result = client.color(g)
+        direct = repro.color(g)
+        assert np.array_equal(served_result.colors, direct.colors)
+        assert served_result.n_colors == direct.n_colors
+
+    def test_dataset_hw_engine_over_wire(self, served):
+        path, _ = served
+        with connect(path) as client:
+            result = client.color(
+                dataset="GD", backend="hw", engine="batched", parallelism=16
+            )
+        direct = repro.color(
+            load_dataset("GD", preprocessed=True),
+            backend="hw",
+            engine="batched",
+            parallelism=16,
+        )
+        assert np.array_equal(result.colors, direct.colors)
+        assert result.backend == "hw"
+        assert result.engine == "batched"
+
+    def test_error_propagates_as_typed_exception(self, served):
+        # A server-side rejection (unknown algorithm -> KeyError) comes
+        # back over the wire as a raised ServiceError with the message.
+        path, _ = served
+        with connect(path) as client:
+            with pytest.raises(ServiceError, match="algorithm"):
+                client.color(erdos_renyi(10, 0.3, seed=1), algorithm="nope")
+
+    def test_timeout_over_wire(self, served):
+        path, _ = served
+        with connect(path) as client:
+            with pytest.raises(JobTimeout):
+                client.color(erdos_renyi(10, 0.3, seed=1), timeout_s=0.0)
+
+    def test_bad_op_is_answered_not_fatal(self, served):
+        path, _ = served
+        with connect(path) as client:
+            with pytest.raises(ServiceError, match="unknown op"):
+                client._roundtrip({"op": "frobnicate"})
+            assert client.ping()  # connection survives the error
+
+    def test_many_requests_one_connection(self, served):
+        path, _ = served
+        graphs = [erdos_renyi(60 + i, 0.1, seed=i) for i in range(8)]
+        with connect(path) as client:
+            for g in graphs:
+                result = client.color(g)
+                assert np.array_equal(result.colors, repro.color(g).colors)
+
+    def test_concurrent_clients(self, served):
+        path, _ = served
+        errors = []
+
+        def worker(idx):
+            try:
+                g = erdos_renyi(100 + idx, 0.05, seed=idx)
+                with connect(path, client_id=f"w{idx}") as client:
+                    result = client.color_retrying(g)
+                if not np.array_equal(result.colors, repro.color(g).colors):
+                    errors.append(f"worker {idx}: colors differ")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(f"worker {idx}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+
+    def test_connect_to_missing_socket_fails_loudly(self, tmp_path):
+        with pytest.raises(ServiceError, match="cannot connect"):
+            connect(tmp_path / "nothing.sock")
+
+    def test_shutdown_unlinks_socket(self, service_factory, tmp_path):
+        svc = service_factory(executors=1)
+        path = tmp_path / "gone.sock"
+        server = ServiceServer(svc, path).run_in_thread()
+        assert path.exists()
+        server.shutdown()
+        assert not path.exists()
+
+    def test_owned_service_drained_on_shutdown(self, tmp_path):
+        from repro.obs import Registry
+        from repro.service import ColoringService, ServiceConfig
+
+        svc = ColoringService(ServiceConfig(executors=1, registry=Registry()))
+        path = tmp_path / "owned.sock"
+        server = ServiceServer(svc, path, owns_service=True).run_in_thread()
+        with connect(path) as client:
+            client.color(erdos_renyi(50, 0.1, seed=2))
+        server.shutdown()
+        assert svc.status()["status"] == "closed"
+
+
+class TestClientValidation:
+    def test_exactly_one_target(self, service_factory, tmp_path):
+        svc = service_factory(executors=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            Client()
+        with pytest.raises(ValueError, match="exactly one"):
+            Client(svc, socket_path=tmp_path / "x.sock")

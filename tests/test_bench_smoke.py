@@ -3,8 +3,10 @@
 Keeps two budgets honest on every test run: the vectorized bitwise
 backend must stay within 2x of the speedup recorded in the checked-in
 ``BENCH_kernels.json``, and the disabled-observability overhead on the
-same kernel run must stay within 5 % of the recorded baseline time.  The
-smoke graph is tiny (1200 vertices) so this costs tens of milliseconds.
+same kernel run must keep the vectorized/python time ratio within 5 %
+of the recorded pre-instrumentation ratio (ratio form so host speed
+drift cancels).  The smoke graph is tiny (1200 vertices) so this costs
+tens of milliseconds.
 """
 
 import json
@@ -103,8 +105,8 @@ def test_obs_disabled_overhead():
     baseline = load_results()
     ok, current, threshold = check_obs_overhead(baseline, limit=1.05, repeats=7)
     assert ok, (
-        f"disabled observability overhead too high: smoke time "
-        f"{current * 1e3:.3f} ms exceeds threshold {threshold * 1e3:.3f} ms"
+        f"disabled observability overhead too high: vectorized/python "
+        f"time ratio {current:.4f} exceeds threshold {threshold:.4f}"
     )
 
 

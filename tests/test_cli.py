@@ -80,6 +80,75 @@ class TestSimulate:
         assert "HDC+BWC" in out
 
 
+class TestServeParser:
+    def test_serve_args(self):
+        args = build_parser().parse_args([
+            "serve", "--socket", "/tmp/x.sock", "--executors", "4",
+            "--max-depth", "32", "--no-batching",
+        ])
+        assert args.socket == "/tmp/x.sock"
+        assert args.executors == 4
+        assert args.max_depth == 32
+        assert args.no_batching is True
+
+    def test_serve_requires_socket(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_source_is_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "submit", "--socket", "/tmp/x.sock",
+                "--dataset", "EF", "--status",
+            ])
+
+
+@pytest.fixture
+def served_socket(tmp_path):
+    from repro.obs import Registry
+    from repro.service import ColoringService, ServiceConfig
+    from repro.service.server import ServiceServer
+
+    svc = ColoringService(ServiceConfig(executors=2, registry=Registry()))
+    path = tmp_path / "cli.sock"
+    server = ServiceServer(svc, path).run_in_thread()
+    yield path
+    server.shutdown()
+    svc.close(drain=False, timeout=5)
+
+
+class TestSubmit:
+    def test_submit_dataset(self, served_socket, capsys):
+        rc = main([
+            "submit", "--socket", str(served_socket), "--dataset", "EF",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EF:" in out and "colors via" in out
+
+    def test_submit_graph_file(self, served_socket, tmp_path, capsys):
+        graph_path = tmp_path / "g.npz"
+        main(["generate", "uniform", str(graph_path), "--scale", "7"])
+        capsys.readouterr()
+        colors_path = tmp_path / "c.npy"
+        rc = main([
+            "submit", "--socket", str(served_socket),
+            "--input", str(graph_path), "--output", str(colors_path),
+        ])
+        assert rc == 0
+        assert "colors via" in capsys.readouterr().out
+        assert np.load(colors_path).min() >= 1
+
+    def test_submit_status(self, served_socket, capsys):
+        rc = main(["submit", "--socket", str(served_socket), "--status"])
+        assert rc == 0
+        assert '"status": "ok"' in capsys.readouterr().out
+
+    def test_submit_needs_a_source(self, served_socket):
+        with pytest.raises(SystemExit, match="needs"):
+            main(["submit", "--socket", str(served_socket)])
+
+
 class TestExperiment:
     def test_fig14(self, capsys):
         rc = main(["experiment", "fig14"])

@@ -125,3 +125,24 @@ def test_recolor_num_colors_deprecated(graph):
         assert res.num_colors == res.colors_after
     # The canonical spellings stay silent.
     assert res.n_colors == res.colors_after
+
+
+def test_unknown_engine_rejected_eagerly(graph):
+    """A typo'd engine fails before dispatch, listing the registered options."""
+    with pytest.raises(ValueError, match="event, batched"):
+        repro.color(graph, "bitwise", backend="hw", engine="bogus")
+
+
+def test_engine_requires_hw_backend(graph):
+    with pytest.raises(ValueError, match="requires backend='hw'"):
+        repro.color(graph, "bitwise", backend="vectorized", engine="batched")
+    # Default backend is not hw either, so engine alone is rejected too.
+    with pytest.raises(ValueError, match="requires backend='hw'"):
+        repro.color(graph, "jp", engine="batched", seed=0)
+
+
+def test_valid_engine_accepted(graph):
+    out = repro.color(
+        graph, "bitwise", backend="hw", engine="batched", parallelism=4
+    )
+    assert np.array_equal(out.colors, repro.color(graph, "bitwise").colors)
