@@ -12,20 +12,44 @@ from repro.experiments import run_hw_bench, write_hw_results
 from repro.experiments.hw_bench import LARGEST_STANDIN
 
 
+def _native_cols(e):
+    """The native-replay columns, or dashes when the tier was unavailable."""
+    if "native_s" not in e:
+        return f"{'-':>11} {'-':>7}"
+    return f"{e['native_s'] * 1e3:9.1f}ms {e['native_speedup']:6.1f}x"
+
+
 def _render(results):
-    lines = ["dataset  vertices    event       batched     speedup"]
+    lines = [
+        "dataset  vertices    event       batched     speedup "
+        "native      vs batch"
+    ]
     for e in results["entries"]:
         lines.append(
             f"{e['dataset']:<8} {e['num_vertices']:<11} "
             f"{e['event_s'] * 1e3:9.1f}ms {e['batched_s'] * 1e3:9.1f}ms "
-            f"{e['speedup']:6.1f}x"
+            f"{e['speedup']:6.1f}x {_native_cols(e)}"
         )
     smoke = results["smoke"]
     lines.append(
         f"smoke                mixed       "
         f"{smoke['event_s'] * 1e3:9.1f}ms {smoke['batched_s'] * 1e3:9.1f}ms "
-        f"{smoke['baseline_speedup']:6.1f}x"
+        f"{smoke['baseline_speedup']:6.1f}x {_native_cols(smoke)}"
     )
+    native_smoke = results.get("native_smoke") or {}
+    if native_smoke.get("available"):
+        backend = native_smoke["backend"]
+        lines.append(
+            f"\n=== Native replay: {backend['name']} ({backend['version']}) ==="
+        )
+        lines.append(
+            f"batched smoke run: python replay "
+            f"{native_smoke['python_replay_s'] * 1e3:.2f}ms, native replay "
+            f"{native_smoke['native_replay_s'] * 1e3:.2f}ms "
+            f"({native_smoke['baseline_speedup']:.1f}x)"
+        )
+    elif native_smoke:
+        lines.append(f"\nnative replay unavailable: {native_smoke['reason']}")
     return "\n".join(lines)
 
 

@@ -10,20 +10,44 @@ Running the file directly regenerates the checked-in ``BENCH_kernels.json``:
 from repro.experiments import run_kernel_bench, write_results
 
 
+def _native_cols(e):
+    """The two native columns, or dashes when the tier was unavailable."""
+    if "native_s" not in e:
+        return f"{'-':>11} {'-':>7}"
+    return f"{e['native_s'] * 1e3:9.1f}ms {e['native_speedup']:6.1f}x"
+
+
 def _render(results):
-    lines = ["dataset  algorithm         python      vectorized  speedup"]
+    lines = [
+        "dataset  algorithm         python      vectorized  speedup "
+        "native      vs vec"
+    ]
     for e in results["entries"]:
         lines.append(
             f"{e['dataset']:<8} {e['algorithm']:<16} "
             f"{e['python_s'] * 1e3:9.1f}ms {e['vectorized_s'] * 1e3:9.1f}ms "
-            f"{e['speedup']:6.1f}x"
+            f"{e['speedup']:6.1f}x {_native_cols(e)}"
         )
     smoke = results["smoke"]
     lines.append(
         f"smoke    {smoke['algorithm']:<16} "
         f"{smoke['python_s'] * 1e3:9.1f}ms {smoke['vectorized_s'] * 1e3:9.1f}ms "
-        f"{smoke['baseline_speedup']:6.1f}x"
+        f"{smoke['baseline_speedup']:6.1f}x {_native_cols(smoke)}"
     )
+    native_smoke = results.get("native_smoke") or {}
+    if native_smoke.get("available"):
+        backend = native_smoke["backend"]
+        lines.append(
+            f"\n=== Native kernels: {backend['name']} ({backend['version']}) ==="
+        )
+        lines.append(
+            f"raw scatter+first-free: vectorized "
+            f"{native_smoke['vectorized_s'] * 1e3:.2f}ms, native "
+            f"{native_smoke['native_s'] * 1e3:.2f}ms "
+            f"({native_smoke['baseline_speedup']:.1f}x)"
+        )
+    elif native_smoke:
+        lines.append(f"\nnative kernels unavailable: {native_smoke['reason']}")
     scaling = results.get("scaling")
     if scaling:
         lines.append(

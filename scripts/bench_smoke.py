@@ -40,10 +40,25 @@ A fourth gate runs against ``BENCH_service.json``:
    micro-benchmarks do not; what the gate reliably catches is the batch
    lane silently falling apart (every job running solo again).
 
+Two more gates cover the optional compiled kernel tier
+(``repro.kernels.native``); both **auto-skip** — reported, not failed —
+when no native backend is available, because the tier is opt-in by
+design:
+
+5. **Native kernel speedup** — times the raw scatter-OR + first-free
+   kernels, vectorized vs compiled (bit-identity asserted first), and
+   requires an absolute >= 3x win.  An absolute floor, not a baseline
+   ratio: the failure mode is the compiled path silently degrading to
+   the vectorized fallback, which reads as ~1x.
+6. **Native replay speedup** — times the batched accelerator engine with
+   ``replay="python"`` vs ``replay="native"`` (exact stats parity
+   asserted first) and requires >= 1.2x; the whole-run number is diluted
+   by the shared vectorized precompute, hence the modest floor.
+
 Usage:
 
     python scripts/bench_smoke.py [--factor 2.0] [--repeats 3]
-        [--obs-limit 1.05] [--skip-hw] [--skip-service]
+        [--obs-limit 1.05] [--skip-hw] [--skip-service] [--skip-native]
         [--service-factor 4.0]
 """
 
@@ -57,7 +72,9 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.experiments import (  # noqa: E402
+    check_hw_native_smoke,
     check_hw_smoke,
+    check_native_smoke,
     check_obs_overhead,
     check_service_smoke,
     check_smoke,
@@ -123,6 +140,11 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-service",
         action="store_true",
         help="skip the service micro-batching gate",
+    )
+    parser.add_argument(
+        "--skip-native",
+        action="store_true",
+        help="skip the native kernel-tier gates",
     )
     args = parser.parse_args(argv)
 
@@ -193,6 +215,33 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: service micro-batching regressed more than the "
                   "allowed factor")
             return 1
+
+    if not args.skip_native:
+        nat_ok, nat_current, nat_threshold = check_native_smoke(
+            repeats=args.repeats
+        )
+        if nat_ok is None:
+            from repro.kernels import native
+
+            print(f"native kernels: skipped ({native.unavailable_reason()})")
+        else:
+            print(
+                f"native kernel speedup: current {nat_current:.2f}x, "
+                f"floor {nat_threshold:.2f}x"
+            )
+            if not nat_ok:
+                print("FAIL: compiled kernels fell below the acceptance floor")
+                return 1
+            rep_ok, rep_current, rep_threshold = check_hw_native_smoke(
+                repeats=args.repeats
+            )
+            print(
+                f"native replay speedup: current {rep_current:.2f}x, "
+                f"floor {rep_threshold:.2f}x"
+            )
+            if not rep_ok:
+                print("FAIL: compiled replay fell below the acceptance floor")
+                return 1
     print("OK")
     return 0
 

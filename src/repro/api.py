@@ -57,12 +57,19 @@ def color(
     backend:
         Backend selector for algorithms that have one (checked against
         the spec's capability flags; ``None`` picks the spec default).
+        ``backend="native"`` selects the compiled kernel tier
+        (:mod:`repro.kernels.native`), falling back to the vectorized
+        kernels transparently when no compiler backend is available —
+        pass ``native_strict=True`` to get an eager
+        :class:`~repro.kernels.NativeUnavailable` error instead.
         ``"bitwise"`` additionally accepts ``backend="parallel"`` (the
         multi-process shard pool, tuned with ``workers=``) and
         ``backend="hw"`` (the full BitColor accelerator model, which
         further accepts ``engine="event"|"batched"`` — the batched
         engine is the epoch-vectorized fast path with identical results
-        — and ``epoch_size=`` for its batch granularity).
+        — plus ``epoch_size=`` for its batch granularity and
+        ``replay="auto"|"python"|"native"`` for the batched engine's
+        schedule-recurrence implementation).
     obs:
         ``None`` — instrument into the ambient default registry (no-op
         unless enabled); a :class:`~repro.obs.Registry` — instrument into
@@ -83,6 +90,17 @@ def color(
         )
     if "seed" in opts and not spec.supports_seed:
         raise TypeError(f"algorithm {algorithm!r} is deterministic; it takes no seed")
+    # native_strict= turns the native tier's silent fallback into an
+    # eager, informative error — validated here so a missing compiler
+    # surfaces before any work, not as a deep ImportError mid-run.  It
+    # is consumed by the facade (the algorithms never see it) and only
+    # acts when the *effective* backend is native, so a service request
+    # degraded onto another rung is unaffected.
+    native_strict = bool(opts.pop("native_strict", False))
+    if native_strict and (backend or spec.default_backend) == "native":
+        from .kernels import native as _native
+
+        _native.require()
     # Validate engine= up front: it only reaches the accelerator through
     # backend="hw", and a typo should fail here with the option list, not
     # deep inside dispatch (or as a stray kwarg on a software algorithm).
@@ -98,6 +116,19 @@ def color(
         if engine not in engines:
             raise ValueError(
                 f"unknown engine {engine!r}; allowed: {', '.join(engines)}"
+            )
+    # replay= likewise only reaches the batched accelerator engine.
+    replay = opts.get("replay")
+    if replay is not None:
+        resolved = backend or spec.default_backend
+        if resolved != "hw":
+            raise ValueError(
+                f"replay={replay!r} requires backend='hw' "
+                f"(got backend={resolved!r} on algorithm {algorithm!r})"
+            )
+        if replay not in ("auto", "python", "native"):
+            raise ValueError(
+                f"unknown replay {replay!r}; allowed: auto, python, native"
             )
 
     export_path: Optional[Path] = None

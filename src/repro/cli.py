@@ -131,7 +131,7 @@ def cmd_simulate(args) -> int:
     cfg = HWConfig(parallelism=args.parallelism)
     if args.cache_kb is not None:
         cfg = HWConfig(parallelism=args.parallelism, cache_bytes=args.cache_kb << 10)
-    acc = BitColorAccelerator(cfg, flags, engine=args.engine)
+    acc = BitColorAccelerator(cfg, flags, engine=args.engine, replay=args.replay)
     if args.obs:
         # The artifact carries both wall-clock spans and the cycle-clock
         # task trace, so tracing is forced on.
@@ -249,11 +249,40 @@ def cmd_submit(args) -> int:
     return 0
 
 
+class _VersionAction(argparse.Action):
+    """``--version``: package version plus kernel-tier capabilities.
+
+    The capability probe is what makes this a diagnostic: it reports
+    whether the compiled native tier is usable on this machine, which
+    backend/compiler it selected, and why when it is not.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        kwargs.setdefault("help", "print version and kernel capabilities, then exit")
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from . import __version__
+        from .kernels import capabilities
+
+        caps = capabilities()
+        print(f"bitcolor-repro {__version__}")
+        print(f"kernel tiers: {', '.join(caps['tiers'])}")
+        info = caps["native_backend"]
+        if info is not None:
+            print(f"native backend: {info['name']} ({info['version']})")
+        else:
+            print(f"native backend: unavailable — {caps['native_reason']}")
+        parser.exit()
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="bitcolor-repro",
         description="BitColor (ICPP'23) reproduction toolkit",
     )
+    p.add_argument("--version", action=_VersionAction)
     sub = p.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="build a synthetic graph")
@@ -272,7 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="bitwise", choices=list(algorithm_names()),
     )
     c.add_argument("--backend", default=None,
-                   help="algorithm backend (e.g. python, vectorized, parallel, hw)")
+                   help="algorithm backend (e.g. python, vectorized, native, "
+                        "parallel, hw); 'native' uses the compiled kernel "
+                        "tier when available (see --version)")
     c.add_argument("--workers", type=int, default=None,
                    help="process-pool width for backend=parallel (implies "
                         "--backend parallel for the bitwise algorithm)")
@@ -294,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution engine: 'event' steps every component "
                         "model; 'batched' is the epoch-vectorized fast path "
                         "with identical results (use for large graphs)")
+    s.add_argument("--replay", default="auto",
+                   choices=["auto", "python", "native"],
+                   help="schedule-recurrence implementation of the batched "
+                        "engine: 'auto' takes the compiled native tier when "
+                        "available; identical stats either way")
     s.add_argument("--gantt", action="store_true",
                    help="print a per-PE occupancy chart")
     s.add_argument("--obs", metavar="PATH",

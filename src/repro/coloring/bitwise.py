@@ -13,7 +13,7 @@ algorithms' work can be compared directly: Stage 1 here costs exactly one
 scan op (the bit expression) plus nothing to clear (the state register is
 reset by assignment).
 
-Two backends produce bit-identical results (colors, counters, pruning
+Three backends produce bit-identical results (colors, counters, pruning
 statistics — property-tested in ``tests/coloring``):
 
 * ``backend="python"`` — the reference scalar loop below, one vertex at a
@@ -21,7 +21,11 @@ statistics — property-tested in ``tests/coloring``):
 * ``backend="vectorized"`` — the packed-bitset kernel layer
   (:mod:`repro.kernels`): the ordering is cut into dependency-respecting
   contiguous runs and each run is colored in one data-parallel sweep over
-  a ``(run, words)`` uint64 state matrix.
+  a ``(run, words)`` uint64 state matrix;
+* ``backend="native"`` — the same sweep with the two hot kernel calls
+  resolved to the compiled native tier (:mod:`repro.kernels.native`),
+  transparently falling back to the vectorized kernels when no compiler
+  backend passes the capability probe.
 """
 
 from __future__ import annotations
@@ -73,11 +77,16 @@ def bitwise_greedy_coloring(
         because it compares against colored state implicitly through IDs,
         so callers passing a custom order should leave this off.
     backend:
-        ``"python"`` (reference scalar loop) or ``"vectorized"`` (the
-        packed-bitset kernel layer, identical results).
+        ``"python"`` (reference scalar loop), ``"vectorized"`` (the
+        packed-bitset kernel layer, identical results), or ``"native"``
+        (the same level-batched sweep over the compiled kernel tier,
+        falling back to the vectorized kernels when no compiler backend
+        is available — see :mod:`repro.kernels.native`).
     """
-    if backend not in ("python", "vectorized"):
-        raise ValueError(f"backend must be 'python' or 'vectorized', got {backend!r}")
+    if backend not in ("python", "vectorized", "native"):
+        raise ValueError(
+            f"backend must be 'python', 'vectorized' or 'native', got {backend!r}"
+        )
     n = graph.num_vertices
     ordering = _resolve_order(graph, order)
     if prune_uncolored and not np.array_equal(ordering, np.arange(n)):
@@ -86,9 +95,13 @@ def bitwise_greedy_coloring(
     with obs.span(
         "coloring.bitwise", backend=backend, vertices=n, edges=graph.num_edges
     ):
-        if backend == "vectorized":
+        if backend in ("vectorized", "native"):
             result = _bitwise_vectorized(
-                graph, ordering, prune_uncolored=prune_uncolored, max_colors=max_colors
+                graph,
+                ordering,
+                prune_uncolored=prune_uncolored,
+                max_colors=max_colors,
+                tier=backend,
             )
         else:
             result = _bitwise_python(
@@ -153,6 +166,7 @@ def _bitwise_vectorized(
     *,
     prune_uncolored: bool,
     max_colors: Optional[int],
+    tier: str = "vectorized",
 ) -> BitwiseResult:
     """Algorithm 2 over the packed-bitset kernels, one level batch at a time.
 
@@ -164,14 +178,19 @@ def _bitwise_vectorized(
     to the scalar walk.  The counters are the same totals the scalar loop
     accumulates: one Stage-0 op per non-pruned edge slot, one Stage-1 scan
     and one Stage-2 write per vertex.
+
+    ``tier`` picks the kernel pair for the two hot calls — vectorized
+    NumPy or the compiled native tier (identical contract); everything
+    else is shared.
     """
     from ..kernels import (
         dependency_levels,
-        first_free_colors_packed,
         gather_ranges,
-        scatter_or_colors,
+        resolve_tier_kernels,
         words_for_colors,
     )
+
+    scatter_or_colors, first_free_colors_packed = resolve_tier_kernels(tier)
 
     n = graph.num_vertices
     colors = np.zeros(n, dtype=np.int64)

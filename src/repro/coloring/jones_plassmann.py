@@ -82,10 +82,14 @@ def jones_plassmann_coloring(
     backend:
         ``"python"`` colors each round's winners one at a time;
         ``"vectorized"`` colors them in one packed-bitset sweep
-        (identical results).
+        (identical results); ``"native"`` runs the same sweep over the
+        compiled kernel tier, falling back to vectorized when no
+        compiler backend is available.
     """
-    if backend not in ("python", "vectorized"):
-        raise ValueError(f"backend must be 'python' or 'vectorized', got {backend!r}")
+    if backend not in ("python", "vectorized", "native"):
+        raise ValueError(
+            f"backend must be 'python', 'vectorized' or 'native', got {backend!r}"
+        )
     n = graph.num_vertices
     gen = np.random.default_rng(seed)
     if priorities is None:
@@ -108,8 +112,10 @@ def jones_plassmann_coloring(
     with obs.span(
         "coloring.jp", backend=backend, vertices=n, edges=graph.num_edges
     ):
-        if backend == "vectorized":
-            _jp_vectorized_rounds(graph, prio, colors, uncolored, result, cap)
+        if backend in ("vectorized", "native"):
+            _jp_vectorized_rounds(
+                graph, prio, colors, uncolored, result, cap, tier=backend
+            )
         else:
             _jp_python_rounds(
                 graph, prio, colors, uncolored, result, cap, src_all, dst_all
@@ -177,6 +183,8 @@ def _jp_vectorized_rounds(
     uncolored: np.ndarray,
     result: JPResult,
     cap: int,
+    *,
+    tier: str = "vectorized",
 ) -> None:
     """The round loop over the packed-bitset kernels.
 
@@ -194,13 +202,9 @@ def _jp_vectorized_rounds(
       are an independent set, so the scalar loop's sequential writes never
       feed each other either.
     """
-    from ..kernels import (
-        first_free_colors_packed,
-        gather_ranges,
-        scatter_or_colors,
-        words_for_colors,
-    )
+    from ..kernels import gather_ranges, resolve_tier_kernels, words_for_colors
 
+    scatter_or_colors, first_free_colors_packed = resolve_tier_kernels(tier)
     n = graph.num_vertices
     deg = graph.degrees()
     # Neighbour colors never exceed the maximum assigned so far, and a

@@ -87,14 +87,15 @@ def _run_bitwise(graph, *, backend: str = "python", **opts):
         trace = opts.pop("trace", False)
         engine = opts.pop("engine", "event")
         epoch_size = opts.pop("epoch_size", None)
+        replay = opts.pop("replay", "auto")
         if opts:
             raise TypeError(
                 f"backend='hw' does not accept {sorted(opts)}; "
                 "supported opts: config, parallelism, flags, trace, "
-                "engine, epoch_size"
+                "engine, epoch_size, replay"
             )
         acc = BitColorAccelerator(
-            config, flags, engine=engine, epoch_size=epoch_size
+            config, flags, engine=engine, epoch_size=epoch_size, replay=replay
         )
         return acc.run(graph, trace=trace)
     return bitwise_greedy_coloring(graph, backend=backend, **opts)
@@ -137,13 +138,14 @@ register_algorithm(
     AlgorithmSpec(
         name="bitwise",
         run=_run_bitwise,
-        backends=("python", "vectorized", "parallel", "hw"),
+        backends=("python", "vectorized", "native", "parallel", "hw"),
         default_backend="vectorized",
         exports=("bitwise_greedy_coloring", "BitwiseResult"),
         description=(
             "Algorithm 2: bit-wise greedy (scalar, packed-bitset kernels, "
-            "the partition-parallel pool via backend='parallel', or the "
-            "full accelerator model via backend='hw')"
+            "the compiled tier via backend='native', the partition-parallel "
+            "pool via backend='parallel', or the full accelerator model "
+            "via backend='hw')"
         ),
     )
 )
@@ -167,7 +169,7 @@ register_algorithm(
     AlgorithmSpec(
         name="jp",
         run=jones_plassmann_coloring,
-        backends=("python", "vectorized"),
+        backends=("python", "vectorized", "native"),
         default_backend="vectorized",
         supports_seed=True,
         deterministic=False,

@@ -14,7 +14,12 @@ Entry points mirror :mod:`repro.experiments.kernel_bench`:
   ``benchmarks/bench_hw.py``;
 * :func:`run_hw_smoke` / :func:`check_hw_smoke` — one small fixed graph
   timed the same way, compared against the checked-in baseline by
-  ``scripts/bench_smoke.py`` so an engine regression fails fast in CI.
+  ``scripts/bench_smoke.py`` so an engine regression fails fast in CI;
+* :func:`run_hw_native_smoke` / :func:`check_hw_native_smoke` — the
+  batched engine's Python replay vs the optional compiled replay
+  (:mod:`repro.kernels.native`); auto-skips when no backend is usable.
+  The event-vs-batched baseline itself is pinned to ``replay="python"``
+  so its recorded numbers compare the same code paths on every host.
 
 Timings are best-of-``repeats`` wall clock (minimum: noise is strictly
 additive in micro-benchmarks).
@@ -38,9 +43,12 @@ __all__ = [
     "DEFAULT_HW_DATASETS",
     "DEFAULT_HW_RESULT_PATH",
     "LARGEST_STANDIN",
+    "MIN_NATIVE_REPLAY_SPEEDUP",
+    "check_hw_native_smoke",
     "check_hw_smoke",
     "load_hw_results",
     "run_hw_bench",
+    "run_hw_native_smoke",
     "run_hw_smoke",
     "write_hw_results",
 ]
@@ -57,26 +65,43 @@ LARGEST_STANDIN = "RC"
 
 HW_SMOKE_SPEC = "powerlaw_cluster(1200, 6, 0.3, seed=7), preprocessed, P=16"
 
+MIN_NATIVE_REPLAY_SPEEDUP = 1.2
+"""Acceptance floor for the compiled replay on the batched smoke run.
+
+The whole-run speedup is diluted by the shared vectorized epoch
+precompute, so the floor is modest; what the gate must catch is the
+native replay silently falling back to the Python recurrence, which
+shows up as a ~1x "speedup"."""
+
 
 def _engines_for(key: str, parallelism: int):
-    """(graph, event accelerator, batched accelerator) at paper settings."""
+    """(graph, event accelerator, batched accelerator) at paper settings.
+
+    The batched engine is pinned to ``replay="python"`` so the recorded
+    event-vs-batched baseline means the same thing on every host,
+    with or without a compiler; the native replay is timed separately.
+    """
     graph = load_dataset(key, preprocessed=True)
     config = REGISTRY[key].config_for(parallelism, graph.num_vertices)
     flags = OptimizationFlags.all()
     return (
         graph,
         BitColorAccelerator(config, flags),
-        BitColorAccelerator(config, flags, engine="batched"),
+        BitColorAccelerator(config, flags, engine="batched", replay="python"),
     )
 
 
-def _assert_engine_parity(graph, event_acc, batched_acc) -> None:
-    ev = event_acc.run(graph)
-    ba = batched_acc.run(graph)
+def _assert_engine_parity(graph, reference_acc, candidate_acc) -> None:
+    ev = reference_acc.run(graph)
+    ba = candidate_acc.run(graph)
+    what = (
+        f"{candidate_acc.engine}/{candidate_acc.replay} vs "
+        f"{reference_acc.engine}/{reference_acc.replay}"
+    )
     if not np.array_equal(ev.colors, ba.colors):
-        raise AssertionError("batched engine colors diverged from event engine")
+        raise AssertionError(f"accelerator colors diverged ({what})")
     if dataclasses.asdict(ev.stats) != dataclasses.asdict(ba.stats):
-        raise AssertionError("batched engine stats diverged from event engine")
+        raise AssertionError(f"accelerator stats diverged ({what})")
 
 
 def run_hw_bench(
@@ -91,31 +116,46 @@ def run_hw_bench(
     speedup, and that exact parity held (asserted, so its presence means
     it passed).
     """
+    from ..kernels import native
+
+    use_native = native.available()
     entries: List[Dict[str, object]] = []
     for key in datasets:
         graph, event_acc, batched_acc = _engines_for(key, parallelism)
         _assert_engine_parity(graph, event_acc, batched_acc)  # also warms both
         event_s = _best_of(lambda: event_acc.run(graph), repeats)
         batched_s = _best_of(lambda: batched_acc.run(graph), repeats)
-        entries.append(
-            {
-                "dataset": key,
-                "num_vertices": graph.num_vertices,
-                "num_edges": graph.num_edges,
-                "event_s": event_s,
-                "batched_s": batched_s,
-                "speedup": event_s / batched_s if batched_s > 0 else float("inf"),
-                "exact_parity": True,
-            }
-        )
+        entry = {
+            "dataset": key,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "event_s": event_s,
+            "batched_s": batched_s,
+            "speedup": event_s / batched_s if batched_s > 0 else float("inf"),
+            "exact_parity": True,
+        }
+        if use_native:
+            native_acc = BitColorAccelerator(
+                batched_acc.config, batched_acc.flags,
+                engine="batched", replay="native",
+            )
+            _assert_engine_parity(graph, batched_acc, native_acc)
+            native_s = _best_of(lambda: native_acc.run(graph), repeats)
+            entry["native_s"] = native_s
+            entry["native_speedup"] = (
+                batched_s / native_s if native_s > 0 else float("inf")
+            )
+        entries.append(entry)
     return {
         "unit": "seconds, best of repeats",
         "repeats": repeats,
         "parallelism": parallelism,
         "flags": OptimizationFlags.all().label(),
         "largest_standin": LARGEST_STANDIN,
+        "native_backend": native.backend_info() if use_native else None,
         "entries": entries,
         "smoke": run_hw_smoke(repeats=repeats),
+        "native_smoke": run_hw_native_smoke(repeats=repeats),
     }
 
 
@@ -129,7 +169,11 @@ def run_hw_smoke(*, repeats: int = 3) -> Dict[str, object]:
     config = HWConfig(parallelism=16, cache_bytes=graph.num_vertices)
     flags = OptimizationFlags.all()
     event_acc = BitColorAccelerator(config, flags)
-    batched_acc = BitColorAccelerator(config, flags, engine="batched")
+    # Python replay, pinned: the recorded baseline must compare the same
+    # two code paths on every host, with or without a compiler.
+    batched_acc = BitColorAccelerator(
+        config, flags, engine="batched", replay="python"
+    )
     _assert_engine_parity(graph, event_acc, batched_acc)  # also warms both
     event_s = _best_of(lambda: event_acc.run(graph), repeats)
     batched_s = _best_of(lambda: batched_acc.run(graph), repeats)
@@ -139,6 +183,59 @@ def run_hw_smoke(*, repeats: int = 3) -> Dict[str, object]:
         "batched_s": batched_s,
         "baseline_speedup": event_s / batched_s if batched_s > 0 else float("inf"),
     }
+
+
+def run_hw_native_smoke(*, repeats: int = 3) -> Dict[str, object]:
+    """Time the batched engine's Python vs native replay on the smoke graph.
+
+    Returns ``{"available": False, "reason": ...}`` when no compiled
+    backend is usable, else the timing document with ``baseline_speedup``
+    (python replay / native replay, whole batched run) and the compiler
+    backend.  Exact parity — colors and every
+    :class:`~repro.hw.accelerator.AcceleratorStats` field — is asserted
+    before any timing is kept.
+    """
+    from ..kernels import native
+
+    if not native.available():
+        return {"available": False, "reason": native.unavailable_reason()}
+    graph = sort_edges(degree_based_grouping(smoke_graph()).graph)
+    config = HWConfig(parallelism=16, cache_bytes=graph.num_vertices)
+    flags = OptimizationFlags.all()
+    python_acc = BitColorAccelerator(
+        config, flags, engine="batched", replay="python"
+    )
+    native_acc = BitColorAccelerator(
+        config, flags, engine="batched", replay="native"
+    )
+    _assert_engine_parity(graph, python_acc, native_acc)  # also warms both
+    python_s = _best_of(lambda: python_acc.run(graph), repeats)
+    native_s = _best_of(lambda: native_acc.run(graph), repeats)
+    return {
+        "available": True,
+        "graph": HW_SMOKE_SPEC,
+        "python_replay_s": python_s,
+        "native_replay_s": native_s,
+        "baseline_speedup": python_s / native_s if native_s > 0 else float("inf"),
+        "backend": native.backend_info(),
+    }
+
+
+def check_hw_native_smoke(
+    *, min_speedup: float = MIN_NATIVE_REPLAY_SPEEDUP, repeats: int = 3
+) -> Tuple[Optional[bool], float, float]:
+    """Gate the compiled replay on the batched smoke run.
+
+    Returns ``(ok, current_speedup, threshold)``; ``ok`` is ``None`` when
+    no native backend is available (caller reports a skip — the tier is
+    optional by design).  Otherwise the whole-run python-vs-native replay
+    speedup must clear :data:`MIN_NATIVE_REPLAY_SPEEDUP`.
+    """
+    doc = run_hw_native_smoke(repeats=repeats)
+    if not doc["available"]:
+        return None, 0.0, min_speedup
+    current = float(doc["baseline_speedup"])
+    return current >= min_speedup, current, min_speedup
 
 
 def check_hw_smoke(

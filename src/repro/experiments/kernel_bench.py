@@ -13,7 +13,13 @@ Two entry points:
 * :func:`run_smoke` / :func:`check_smoke` — a tiny fixed graph timed the
   same way, compared against the checked-in baseline by
   ``scripts/bench_smoke.py`` so a kernel-layer regression fails fast in
-  tier-1 without the cost (or flakiness) of the full suite.
+  tier-1 without the cost (or flakiness) of the full suite;
+* :func:`run_native_smoke` / :func:`check_native_smoke` — the raw
+  scatter-OR + first-free kernels, vectorized vs the optional compiled
+  tier (:mod:`repro.kernels.native`); auto-skips when no compiler or
+  numba is present.  When a native backend is detected, :func:`_measure`
+  also times every (dataset, algorithm) pair with ``backend="native"``
+  and records ``native_s`` / ``native_speedup`` columns.
 
 Timings are best-of-``repeats`` wall clock: the minimum is the standard
 robust statistic for micro-benchmarks because noise is strictly additive.
@@ -35,12 +41,15 @@ __all__ = [
     "ALGORITHMS",
     "DEFAULT_DATASETS",
     "DEFAULT_RESULT_PATH",
+    "MIN_NATIVE_SPEEDUP",
     "SCALING_DATASET",
     "SCALING_WORKERS",
+    "check_native_smoke",
     "check_obs_overhead",
     "check_smoke",
     "load_results",
     "run_kernel_bench",
+    "run_native_smoke",
     "run_obs_overhead",
     "run_obs_overhead_pair",
     "run_smoke",
@@ -65,6 +74,21 @@ SCALING_DATASET = "CF"
 """Worker-scaling target: the largest synthetic stand-in by edge count."""
 
 SCALING_WORKERS: Tuple[int, ...] = (1, 2, 4)
+
+NATIVE_SMOKE_SPEC = (
+    "scatter-OR + first-free, 65536 updates into a 4096x4-word color state"
+)
+"""Human-readable description of the raw native kernel micro-benchmark."""
+
+MIN_NATIVE_SPEEDUP = 3.0
+"""Acceptance floor for the compiled kernels on the raw micro-benchmark.
+
+An absolute floor rather than a baseline ratio: raw kernel speedups vary
+wildly across hosts (NumPy's ``bitwise_or.at`` is unbuffered scalar
+dispatch, so the gap only widens on fast machines), and what the gate
+must catch is the native tier silently degrading to the vectorized
+fallback — which shows up as a ~1x "speedup", far below any real
+compiled run."""
 
 
 def _runner(algorithm: str, graph: CSRGraph, backend: str) -> Callable[[], object]:
@@ -98,11 +122,24 @@ def _measure(graph: CSRGraph, algorithm: str, repeats: int) -> Dict[str, float]:
     vector_fn()
     python_s = _best_of(python_fn, repeats)
     vectorized_s = _best_of(vector_fn, repeats)
-    return {
+    timing = {
         "python_s": python_s,
         "vectorized_s": vectorized_s,
         "speedup": python_s / vectorized_s if vectorized_s > 0 else float("inf"),
     }
+    from ..kernels import native
+
+    # Luby MIS never touches the packed-bitset kernels, so there is no
+    # native tier to time for it.
+    if native.available() and algorithm in ("bitwise", "jones_plassmann"):
+        native_fn = _runner(algorithm, graph, "native")
+        native_fn()
+        native_s = _best_of(native_fn, repeats)
+        timing["native_s"] = native_s
+        timing["native_speedup"] = (
+            vectorized_s / native_s if native_s > 0 else float("inf")
+        )
+    return timing
 
 
 def run_kernel_bench(
@@ -130,11 +167,15 @@ def run_kernel_bench(
                     **timing,
                 }
             )
+    from ..kernels import native
+
     return {
         "unit": "seconds, best of repeats",
         "repeats": repeats,
+        "native_backend": native.backend_info() if native.available() else None,
         "entries": entries,
         "smoke": run_smoke(repeats=repeats),
+        "native_smoke": run_native_smoke(repeats=repeats),
         "scaling": run_worker_scaling(repeats=repeats),
     }
 
@@ -207,13 +248,17 @@ def run_smoke(*, repeats: int = 3) -> Dict[str, object]:
     future runs against.
     """
     timing = _measure(smoke_graph(), "bitwise", repeats)
-    return {
+    doc = {
         "algorithm": "bitwise",
         "graph": SMOKE_SPEC,
         "baseline_speedup": timing["speedup"],
         "python_s": timing["python_s"],
         "vectorized_s": timing["vectorized_s"],
     }
+    if "native_s" in timing:
+        doc["native_s"] = timing["native_s"]
+        doc["native_speedup"] = timing["native_speedup"]
+    return doc
 
 
 def check_smoke(
@@ -231,6 +276,87 @@ def check_smoke(
     current = float(run_smoke(repeats=repeats)["baseline_speedup"])
     threshold = baseline_speedup / factor
     return current >= threshold, current, threshold
+
+
+def _native_workload() -> Tuple[object, object, int, int]:
+    """A fixed scatter-OR workload: heavy enough that kernel time dominates.
+
+    65536 (row, color) updates into a 4096-row, 4-word (256-color) state
+    matrix — the shape the accelerator's Stage 0 sees on a mid-size graph.
+    Deterministic (seeded) so both tiers chew identical bytes.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(1234)
+    num_rows, num_words, n_updates = 4096, 4, 65536
+    rows = rng.integers(0, num_rows, size=n_updates, dtype=np.int64)
+    colors = rng.integers(1, num_words * 64 + 1, size=n_updates, dtype=np.int64)
+    return rows, colors, num_rows, num_words
+
+
+def run_native_smoke(*, repeats: int = 3) -> Dict[str, object]:
+    """Time the raw scatter-OR + first-free kernels, vectorized vs native.
+
+    Returns ``{"available": False, "reason": ...}`` when no compiled
+    backend is usable, else the timing document with ``baseline_speedup``
+    (vectorized / native on the combined scatter + first-free pass) and
+    the compiler backend that produced it.  Bit-identity of both kernels'
+    outputs is asserted before any timing is kept.
+    """
+    import numpy as np
+
+    from ..kernels import native, resolve_tier_kernels
+
+    if not native.available():
+        return {"available": False, "reason": native.unavailable_reason()}
+    vec_scatter, vec_ff = resolve_tier_kernels("vectorized")
+    nat_scatter, nat_ff = resolve_tier_kernels("native")
+    rows, colors, num_rows, num_words = _native_workload()
+
+    vec_states = vec_scatter(rows, colors, num_rows, num_words)
+    nat_states = nat_scatter(rows, colors, num_rows, num_words)
+    if not np.array_equal(vec_states, nat_states):
+        raise AssertionError("native scatter-OR diverged from vectorized")
+    if not np.array_equal(vec_ff(vec_states), nat_ff(nat_states)):
+        raise AssertionError("native first-free diverged from vectorized")
+
+    vec_fn = lambda: vec_ff(  # noqa: E731
+        vec_scatter(rows, colors, num_rows, num_words)
+    )
+    nat_fn = lambda: nat_ff(  # noqa: E731
+        nat_scatter(rows, colors, num_rows, num_words)
+    )
+    vectorized_s = _best_of(vec_fn, repeats)
+    native_s = _best_of(nat_fn, repeats)
+    return {
+        "available": True,
+        "workload": NATIVE_SMOKE_SPEC,
+        "vectorized_s": vectorized_s,
+        "native_s": native_s,
+        "baseline_speedup": (
+            vectorized_s / native_s if native_s > 0 else float("inf")
+        ),
+        "backend": native.backend_info(),
+    }
+
+
+def check_native_smoke(
+    *, min_speedup: float = MIN_NATIVE_SPEEDUP, repeats: int = 3
+) -> Tuple[Optional[bool], float, float]:
+    """Gate the compiled kernels on the raw micro-benchmark.
+
+    Returns ``(ok, current_speedup, threshold)``.  ``ok`` is ``None`` when
+    no native backend is available — the caller should report a skip, not
+    a failure (the tier is optional by design).  Otherwise the check
+    passes while the native scatter+first-free pass beats vectorized by
+    at least ``min_speedup`` (see :data:`MIN_NATIVE_SPEEDUP` for why the
+    floor is absolute rather than baseline-relative).
+    """
+    doc = run_native_smoke(repeats=repeats)
+    if not doc["available"]:
+        return None, 0.0, min_speedup
+    current = float(doc["baseline_speedup"])
+    return current >= min_speedup, current, min_speedup
 
 
 def run_obs_overhead(*, repeats: int = 5) -> float:

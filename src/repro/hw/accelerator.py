@@ -133,10 +133,14 @@ class BitColorAccelerator:
       over whole dispatch epochs, schedule replayed by a lean recurrence.
       Produces identical colorings and identical statistics at a fraction
       of the wall clock; intended for paper-scale stand-ins.  ``epoch_size``
-      sets tasks per vectorized batch (only used by this engine).
+      sets tasks per vectorized batch and ``replay`` the schedule-recurrence
+      implementation (``"auto"`` — the compiled native tier when its
+      capability probe succeeds, else the Python loop; ``"python"``;
+      ``"native"``); both are only used by this engine.
     """
 
     ENGINES = ("event", "batched")
+    REPLAYS = ("auto", "python", "native")
 
     def __init__(
         self,
@@ -145,15 +149,21 @@ class BitColorAccelerator:
         *,
         engine: str = "event",
         epoch_size: Optional[int] = None,
+        replay: str = "auto",
     ):
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {self.ENGINES}"
             )
+        if replay not in self.REPLAYS:
+            raise ValueError(
+                f"unknown replay {replay!r}; expected one of {self.REPLAYS}"
+            )
         self.config = config or HWConfig()
         self.flags = flags or OptimizationFlags.all()
         self.engine = engine
         self.epoch_size = epoch_size
+        self.replay = replay
 
     # ------------------------------------------------------------------
     def run(self, graph: CSRGraph, *, trace: bool = False) -> AcceleratorResult:
@@ -178,6 +188,7 @@ class BitColorAccelerator:
                     self.flags,
                     trace=trace,
                     epoch_size=self.epoch_size or DEFAULT_EPOCH_TASKS,
+                    replay=self.replay,
                 )
             else:
                 result = self._run(graph, trace=trace)

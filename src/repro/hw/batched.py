@@ -22,7 +22,12 @@ dispatch epoch at a time:
    so a lean loop replays exactly the event engine's schedule: dispatch
    floor, first-idle-PE selection, physical-DRAM-channel queueing,
    conflict deferral against in-flight lower neighbours, merge-buffer
-   carry across tasks (with write-back invalidation), and stalls.
+   carry across tasks (with write-back invalidation), and stalls.  The
+   recurrence has two interchangeable implementations selected by the
+   ``replay=`` parameter: the reference Python loop below, and the
+   compiled loop of the native kernel tier (:mod:`repro.kernels.native`)
+   — one epoch per call, identical schedule and stats, used by default
+   when the capability probe succeeds.
 
 Because the recurrence replays the schedule exactly, *every* stats field
 — including the timing-dependent ones (conflicts, merged_reads,
@@ -80,7 +85,14 @@ class _Epoch:
 
 
 def _precompute_epoch(
-    graph: CSRGraph, lo: int, hi: int, v_t: int, cfg: HWConfig, flags: OptimizationFlags
+    graph: CSRGraph,
+    lo: int,
+    hi: int,
+    v_t: int,
+    cfg: HWConfig,
+    flags: OptimizationFlags,
+    *,
+    scalar_lists: bool = True,
 ) -> _Epoch:
     offsets = graph.offsets
     edges = graph.edges
@@ -179,22 +191,43 @@ def _precompute_epoch(
 
     ep = _Epoch()
     ep.lo, ep.hi = lo, hi
-    ep.comp_trav = comp_trav.tolist()
-    ep.dram_b = (edge_dram + dram_b_color).tolist()
-    ep.delta_a = delta_a.tolist()
-    ep.c0 = c0.tolist()
-    ep.clast = clast.tolist()
-    ep.edge_dram = edge_dram
-    ep.hdv_fetch = hdv_fetch
-    ep.k = k
-    ep.mi = mi
-    ep.ldv_cnt = ldv_cnt
-    ep.ldv_ptr = ldv_ptr.tolist()
-    ep.ldv_dst = ldv_dst.tolist()
-    ep.ldv_blk = blocks.tolist()
     low_ptr, low_dst = conflict_candidates(offsets, edges, lo, hi)
-    ep.low_ptr = low_ptr.tolist()
-    ep.low_dst = low_dst.tolist()
+    if scalar_lists:
+        # The Python replay loop indexes plain lists (faster than numpy
+        # scalar access by ~3x in a tight loop).
+        ep.comp_trav = comp_trav.tolist()
+        ep.dram_b = (edge_dram + dram_b_color).tolist()
+        ep.delta_a = delta_a.tolist()
+        ep.c0 = c0.tolist()
+        ep.clast = clast.tolist()
+        ep.edge_dram = edge_dram
+        ep.k = k
+        ep.mi = mi
+        ep.ldv_ptr = ldv_ptr.tolist()
+        ep.ldv_dst = ldv_dst.tolist()
+        ep.ldv_blk = blocks.tolist()
+        ep.low_ptr = low_ptr.tolist()
+        ep.low_dst = low_dst.tolist()
+    else:
+        # The native replay takes contiguous int64 arrays verbatim.
+        def a64(x):
+            return np.ascontiguousarray(x, dtype=np.int64)
+
+        ep.comp_trav = a64(comp_trav)
+        ep.dram_b = a64(edge_dram + dram_b_color)
+        ep.delta_a = a64(delta_a)
+        ep.c0 = c0
+        ep.clast = clast
+        ep.edge_dram = a64(edge_dram)
+        ep.k = a64(k)
+        ep.mi = a64(mi)
+        ep.ldv_ptr = a64(ldv_ptr)
+        ep.ldv_dst = a64(ldv_dst)
+        ep.ldv_blk = a64(blocks)
+        ep.low_ptr = a64(low_ptr)
+        ep.low_dst = a64(low_dst)
+    ep.hdv_fetch = hdv_fetch
+    ep.ldv_cnt = ldv_cnt
     ep.sum_pruned = int(pruned.sum())
     ep.sum_cache = int(hdv_fetch.sum())
     ep.sum_ldv = int(ldv_cnt.sum())
@@ -212,12 +245,24 @@ def run_batched(
     *,
     trace: bool = False,
     epoch_size: int = DEFAULT_EPOCH_TASKS,
+    replay: str = "auto",
 ):
     """Run the batched engine; returns an ``AcceleratorResult``.
 
     Produces byte-identical colors and an exactly matching
     ``AcceleratorStats`` relative to the event-driven engine (see module
     docstring), at one-to-two orders of magnitude lower wall clock.
+
+    ``replay`` selects the implementation of the scalar schedule
+    recurrence (step 3): ``"auto"`` uses the compiled native kernel tier
+    when its capability probe succeeds (and the Python loop otherwise),
+    ``"python"`` pins the reference loop, ``"native"`` prefers the
+    compiled loop but still falls back to Python when no compiler
+    backend is usable (the strict form is ``repro.kernels.native.require``).
+    Both replays produce identical stats — the parity suite pins this.
+    Trace capture records per-task rows, which only the Python loop
+    emits: ``trace=True`` silently pins ``replay="auto"`` to Python and
+    rejects an explicit ``replay="native"``.
     """
     from ..coloring.bitwise import bitwise_greedy_coloring
     from .accelerator import AcceleratorResult, AcceleratorStats
@@ -231,6 +276,23 @@ def run_batched(
         )
     if epoch_size < 1:
         raise ValueError("epoch_size must be >= 1")
+    if replay not in ("auto", "python", "native"):
+        raise ValueError(
+            f"unknown replay {replay!r}; allowed: auto, python, native"
+        )
+    if trace and replay == "native":
+        raise ValueError(
+            "trace capture requires replay='python' (per-task rows are "
+            "only recorded by the Python replay loop); drop trace= or "
+            "the replay pin"
+        )
+    native_impl = None
+    if not trace and replay in ("auto", "native"):
+        from ..kernels import native as _native
+
+        if _native.available():
+            native_impl = _native.require()
+    use_native = native_impl is not None
     n = graph.num_vertices
     p = cfg.parallelism
     v_t = cfg.v_t(n) if flags.hdc else 0
@@ -250,9 +312,10 @@ def run_batched(
             f"vertex {v_bad} needs color {int(colors[v_bad])} "
             f"> max {cfg.max_colors}"
         )
-    colors_l = colors.tolist() if not flags.bwc else None
+    colors_l = colors.tolist() if (not flags.bwc and not use_native) else None
 
-    pe_bind = static_pe_binding(n, v_t, p).tolist()
+    pe_bind_arr = np.ascontiguousarray(static_pe_binding(n, v_t, p), dtype=np.int64)
+    pe_bind = pe_bind_arr.tolist() if not use_native else None
 
     # --- scalar schedule state ----------------------------------------
     mgr = flags.mgr
@@ -280,6 +343,25 @@ def run_batched(
     floor = 0
     maxfin = 0
 
+    if use_native:
+        # The compiled replay keeps the same schedule state in int64
+        # arrays; the packed ``nstate`` vector carries the scalars
+        # (floor, maxfin, heap size, epoch first-start) and all fourteen
+        # accumulators across epochs.  The pending-write heap is a
+        # finish-keyed binary heap — the Python heap's (finish, block)
+        # tie-break is unobservable because every entry with
+        # finish <= t is drained before any carry is read.
+        free_a = np.zeros(p, dtype=np.int64)
+        seen_a = np.ones(p, dtype=np.int64)
+        carry_a = np.full(p, -1, dtype=np.int64)
+        finish_a = np.zeros(n, dtype=np.int64)
+        servers_a = np.zeros(ns, dtype=np.int64)
+        heap_cap = max(n - v_t, 1)
+        heap_fin = np.zeros(heap_cap, dtype=np.int64)
+        heap_blk = np.zeros(heap_cap, dtype=np.int64)
+        dlist_buf = np.zeros(1, dtype=np.int64)
+        nstate = np.zeros(18, dtype=np.int64)
+
     # accumulators
     tot_comp = tot_dram = tot_wc = tot_stall = tot_queue = 0
     conflicts = 0
@@ -293,7 +375,9 @@ def run_batched(
 
     for lo in range(0, n, epoch_size):
         hi = min(lo + epoch_size, n)
-        ep = _precompute_epoch(graph, lo, hi, v_t, cfg, flags)
+        ep = _precompute_epoch(
+            graph, lo, hi, v_t, cfg, flags, scalar_lists=not use_native
+        )
         sum_pruned += ep.sum_pruned
         sum_cache += ep.sum_cache
         sum_ldv += ep.sum_ldv
@@ -301,6 +385,45 @@ def run_batched(
         sum_k += ep.sum_k
         sum_blocks_needed += ep.sum_blocks_needed
         sum_blocks_saved += ep.sum_blocks_saved
+
+        if use_native:
+            # One compiled call replays the whole epoch's recurrence.
+            nstate[3] = -1  # epoch first-start, set at the first dispatch
+            ep_conflicts0 = int(nstate[9])
+            ep_stall0 = int(nstate[7])
+            dmax = int(np.max(np.diff(ep.low_ptr)))
+            if dmax > dlist_buf.size:
+                dlist_buf = np.zeros(dmax, dtype=np.int64)
+            native_impl.replay_epoch(
+                (
+                    lo, hi - lo, v_t, p, ns, int(mgr), int(bwc), interval,
+                    wc_ldv, or_cyc, hitx, rc, sc, cpb, fin_bwc,
+                ),
+                (
+                    ep.comp_trav, ep.dram_b, ep.delta_a, ep.c0, ep.clast,
+                    ep.edge_dram, ep.mi, ep.k, ep.low_ptr, ep.low_dst,
+                    ep.ldv_ptr, ep.ldv_dst, ep.ldv_blk,
+                ),
+                (
+                    pe_bind_arr, colors, free_a, seen_a, carry_a,
+                    finish_a, servers_a, heap_fin, heap_blk, dlist_buf,
+                    nstate,
+                ),
+            )
+            if obs.enabled:
+                obs.record_span(
+                    "hw.batched.epoch",
+                    max(int(nstate[3]), 0),
+                    int(nstate[1]),
+                    epoch=lo // epoch_size,
+                    first_vertex=lo,
+                    tasks=hi - lo,
+                    conflicts=int(nstate[9]) - ep_conflicts0,
+                    stall_cycles=int(nstate[7]) - ep_stall0,
+                )
+                obs.add("hw.batched.epochs")
+                obs.add("hw.batched.epoch.tasks", hi - lo)
+            continue
 
         comp_l = ep.comp_trav
         dram_l = ep.dram_b
@@ -489,6 +612,25 @@ def run_batched(
             )
             obs.add("hw.batched.epochs")
             obs.add("hw.batched.epoch.tasks", hi - lo)
+
+    if use_native:
+        # Unpack the compiled replay's packed state into the same scalar
+        # accumulators the Python loop maintains.
+        maxfin = int(nstate[1])
+        tot_comp = int(nstate[4])
+        tot_dram = int(nstate[5])
+        tot_wc = int(nstate[6])
+        tot_stall = int(nstate[7])
+        tot_queue = int(nstate[8])
+        conflicts = int(nstate[9])
+        count_a = int(nstate[10])
+        conf_mi = int(nstate[11])
+        conf_merged = int(nstate[12])
+        conf_k = int(nstate[13])
+        conf_misses = int(nstate[14])
+        conf_ldv_base = int(nstate[15])
+        conf_ldv_reads = int(nstate[16])
+        conf_hdv_occ = int(nstate[17])
 
     # ------------------------------------------------------------------
     # Fold the vectorized totals and the scalar corrections into the

@@ -1,0 +1,545 @@
+"""System-C-compiler backend of the native kernel tier.
+
+The lumos ``acc.pyx`` idiom — an optional compiled module behind a pure-
+Python behaviour contract — without requiring Cython at all: the hot
+loops are a single self-contained C translation unit embedded below,
+compiled on first use with whatever ``cc``/``gcc``/``clang`` is on PATH
+(``-O3 -shared -fPIC``) and loaded through :mod:`ctypes`.  The shared
+object is cached on disk keyed by a hash of the source *and* the
+compiler identity, so a source edit or toolchain swap rebuilds and an
+unchanged tree pays the compile exactly once per machine.
+
+Three entry points, mirroring the Python/NumPy reference semantics
+bit for bit (the probe in :mod:`repro.kernels.native` golden-checks the
+first two against the vectorized kernels before the backend is ever
+selected):
+
+* ``bc_scatter_or`` — Stage 0 scatter-OR with the same validation order
+  as :func:`repro.kernels.bitmatrix.scatter_or_colors`: the color
+  overflow check runs over the whole batch *before* any state word is
+  written (and before any row-bounds error), and NumPy's negative-row
+  wraparound is reproduced;
+* ``bc_first_free`` — Stage 1 first-free-color via the paper's
+  ``(~state) & (state + 1)`` bit trick and a hardware popcount, with the
+  same all-words-saturated overflow contract;
+* ``bc_replay_epoch`` — the batched accelerator engine's scalar replay
+  recurrence (dispatch floor, first-idle-PE selection, merge-buffer
+  carry + write-commit invalidation via a binary min-heap, conflict
+  deferral, physical-channel queueing) over one epoch of precomputed
+  per-task arrays.  The heap is keyed on finish time alone: the Python
+  engine's ``(finish, block)`` tuple tie-break is unobservable because
+  the commit loop drains *every* entry with ``finish <= t`` and carry
+  invalidation commutes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["load"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+#define WORD_BITS 64LL
+#define FULL_WORD 0xFFFFFFFFFFFFFFFFULL
+
+typedef long long i64;
+typedef unsigned long long u64;
+
+/* Stage 0: OR one-hot colors into state rows.
+ *
+ * Returns the number of words ORed (live slots) on success;
+ *   -1 = color overflow  (*detail = the offending color number);
+ *   -2 = row out of range (*detail = the offending row index).
+ * The whole batch is validated before any write, and the color check
+ * outranks the row check — matching the vectorized kernel, which
+ * raises its ValueError before np.bitwise_or.at touches (or bounds-
+ * checks) anything.  Negative rows wrap like NumPy fancy indexing.
+ */
+i64 bc_scatter_or(const i64 *rows, const i64 *colors, i64 nnz,
+                  u64 *out, i64 num_rows, i64 num_words, i64 *detail)
+{
+    i64 maxc = 0, words_ored = 0, bad_row = 0, has_bad_row = 0;
+    for (i64 i = 0; i < nnz; i++) {
+        i64 c = colors[i];
+        if (c <= 0)
+            continue;
+        if (c > maxc)
+            maxc = c;
+        i64 r = rows[i];
+        if ((r < -num_rows || r >= num_rows) && !has_bad_row) {
+            has_bad_row = 1;
+            bad_row = r;
+        }
+        words_ored++;
+    }
+    if (maxc > num_words * WORD_BITS) {
+        *detail = maxc;
+        return -1;
+    }
+    if (has_bad_row) {
+        *detail = bad_row;
+        return -2;
+    }
+    for (i64 i = 0; i < nnz; i++) {
+        i64 c = colors[i];
+        if (c <= 0)
+            continue;
+        i64 r = rows[i];
+        if (r < 0)
+            r += num_rows;
+        i64 idx = c - 1;
+        out[r * num_words + (idx >> 6)] |= 1ULL << (idx & 63);
+    }
+    return words_ored;
+}
+
+/* Stage 1: first free 1-based color per state row.
+ *
+ * Returns 0 on success, r+1 when row r has every word saturated (the
+ * caller raises the tier's OverflowError).
+ */
+i64 bc_first_free(const u64 *states, i64 rows, i64 words, i64 *out)
+{
+    for (i64 r = 0; r < rows; r++) {
+        const u64 *row = states + r * words;
+        i64 w = 0;
+        while (w < words && row[w] == FULL_WORD)
+            w++;
+        if (w == words)
+            return r + 1;
+        u64 x = row[w];
+        u64 lz = (~x) & (x + 1ULL);
+        out[r] = w * WORD_BITS + (i64)__builtin_popcountll(lz - 1ULL) + 1;
+    }
+    return 0;
+}
+
+/* Binary min-heap keyed on finish time (see module docstring on why the
+ * Python engine's (finish, block) tie-break is unobservable). */
+static void heap_push(i64 *hf, i64 *hb, i64 *size, i64 fin, i64 blk)
+{
+    i64 i = (*size)++;
+    while (i > 0) {
+        i64 par = (i - 1) >> 1;
+        if (hf[par] <= fin)
+            break;
+        hf[i] = hf[par];
+        hb[i] = hb[par];
+        i = par;
+    }
+    hf[i] = fin;
+    hb[i] = blk;
+}
+
+static i64 heap_pop(i64 *hf, i64 *hb, i64 *size)
+{
+    i64 blk = hb[0];
+    i64 m = --(*size);
+    i64 fin = hf[m], mb = hb[m];
+    i64 i = 0;
+    for (;;) {
+        i64 l = 2 * i + 1;
+        if (l >= m)
+            break;
+        if (l + 1 < m && hf[l + 1] < hf[l])
+            l++;
+        if (hf[l] >= fin)
+            break;
+        hf[i] = hf[l];
+        hb[i] = hb[l];
+        i = l;
+    }
+    hf[i] = fin;
+    hb[i] = mb;
+    return blk;
+}
+
+/* Persistent scalar state shared across epochs, packed into state[]. */
+#define S_FLOOR      0
+#define S_MAXFIN     1
+#define S_HEAP_SIZE  2
+#define S_EP_FIRST   3
+#define S_TOT_COMP   4
+#define S_TOT_DRAM   5
+#define S_TOT_WC     6
+#define S_TOT_STALL  7
+#define S_TOT_QUEUE  8
+#define S_CONFLICTS  9
+#define S_COUNT_A    10
+#define S_CONF_MI    11
+#define S_CONF_MERGED 12
+#define S_CONF_K     13
+#define S_CONF_MISSES 14
+#define S_CONF_LDV_BASE 15
+#define S_CONF_LDV_READS 16
+#define S_CONF_HDV_OCC 17
+
+/* One dispatch epoch of the batched engine's replay recurrence; a
+ * line-for-line transliteration of the Python loop in hw/batched.py. */
+i64 bc_replay_epoch(
+    i64 lo, i64 nloc, i64 v_t, i64 p, i64 ns, i64 mgr, i64 bwc,
+    i64 interval, i64 wc_ldv, i64 or_cyc, i64 hitx, i64 rc, i64 sc,
+    i64 cpb, i64 fin_bwc,
+    const i64 *comp_l, const i64 *dram_l, const i64 *da_l,
+    const i64 *c0_l, const i64 *cl_l,
+    const i64 *edge_dram, const i64 *mi_l, const i64 *k_l,
+    const i64 *lptr, const i64 *ldst,
+    const i64 *vptr, const i64 *vdst, const i64 *vblk,
+    const i64 *pe_bind, const i64 *colors,
+    i64 *pe_free, i64 *seen, i64 *carry, i64 *finish_v, i64 *servers,
+    i64 *heap_fin, i64 *heap_blk, i64 *dlist, i64 *state)
+{
+    i64 floor_t = state[S_FLOOR];
+    i64 maxfin = state[S_MAXFIN];
+    i64 heap_size = state[S_HEAP_SIZE];
+    i64 ep_first = state[S_EP_FIRST];
+
+    for (i64 vl = 0; vl < nloc; vl++) {
+        i64 v = lo + vl;
+
+        /* dispatch: PE choice and start time */
+        i64 pe = pe_bind[v];
+        i64 fpe;
+        if (pe < 0) {
+            pe = 0;
+            fpe = pe_free[0];
+            for (i64 q = 1; q < p; q++)
+                if (pe_free[q] < fpe) {
+                    fpe = pe_free[q];
+                    pe = q;
+                }
+        } else {
+            fpe = pe_free[pe];
+        }
+        i64 t = fpe > floor_t ? fpe : floor_t;
+        floor_t = t + interval;
+        if (ep_first < 0)
+            ep_first = t;
+
+        /* commits due before this dispatch: merge-buffer invalidation */
+        if (mgr) {
+            while (heap_size > 0 && heap_fin[0] <= t) {
+                i64 wb = heap_pop(heap_fin, heap_blk, &heap_size);
+                for (i64 q = 0; q < p; q++)
+                    if (carry[q] == wb)
+                        carry[q] = -1;
+            }
+        }
+
+        /* conflict deferral against in-flight lower neighbours */
+        i64 dep = 0, nd = 0, d_hdv_occ = 0;
+        if (maxfin > t) {
+            for (i64 i = lptr[vl]; i < lptr[vl + 1]; i++) {
+                i64 w = ldst[i];
+                i64 fw = finish_v[w];
+                if (fw > t) {
+                    if (w < v_t)
+                        d_hdv_occ++;
+                    i64 dup = 0;
+                    for (i64 j = 0; j < nd; j++)
+                        if (dlist[j] == w) {
+                            dup = 1;
+                            break;
+                        }
+                    if (!dup) {
+                        dlist[nd++] = w;
+                        if (fw > dep)
+                            dep = fw;
+                    }
+                }
+            }
+        }
+
+        i64 ct = comp_l[vl];
+        i64 dr = dram_l[vl];
+        if (nd == 0) {
+            if (mgr) {
+                if (c0_l[vl] == carry[pe]) {
+                    state[S_COUNT_A]++;
+                    dr += da_l[vl];
+                }
+                i64 cl = cl_l[vl];
+                if (cl >= 0)
+                    carry[pe] = cl;
+            }
+        } else {
+            /* correction path: replay the fetch sequence without the
+             * deferred neighbours */
+            state[S_CONFLICTS] += nd;
+            i64 lp = vptr[vl], rp = vptr[vl + 1];
+            i64 cur = carry[pe];
+            i64 last_c = -1;
+            i64 merged = 0, misses = 0, stream = 0, reads = 0;
+            for (i64 i = lp; i < rp; i++) {
+                i64 w = vdst[i];
+                i64 def = 0;
+                for (i64 j = 0; j < nd; j++)
+                    if (dlist[j] == w) {
+                        def = 1;
+                        break;
+                    }
+                if (def)
+                    continue;
+                i64 b = vblk[i];
+                reads++;
+                if (mgr && b == cur) {
+                    merged++;
+                } else {
+                    misses++;
+                    if (last_c >= 0 && b == last_c + 1)
+                        stream++;
+                    last_c = b;
+                    cur = b;
+                }
+            }
+            if (mgr)
+                carry[pe] = cur;
+            dr = edge_dram[vl] + stream * sc + (misses - stream) * rc;
+            ct -= hitx * d_hdv_occ;
+            state[S_CONF_LDV_BASE] += rp - lp;
+            state[S_CONF_LDV_READS] += reads;
+            state[S_CONF_MERGED] += merged;
+            state[S_CONF_MISSES] += misses;
+            state[S_CONF_MI] += mi_l[vl];
+            state[S_CONF_K] += k_l[vl];
+            state[S_CONF_HDV_OCC] += d_hdv_occ;
+        }
+
+        /* finalize cycles (Steps 6-7) */
+        i64 cf;
+        if (bwc) {
+            cf = fin_bwc;
+        } else {
+            i64 col = colors[v];
+            i64 sm = seen[pe];
+            cf = col + sm;
+            if (col > sm)
+                seen[pe] = col;
+        }
+        if (nd > 0)
+            cf += or_cyc;
+
+        /* write-back + physical DRAM channel queueing */
+        i64 wc, dd;
+        if (v < v_t) {
+            wc = 1;
+            dd = dr;
+        } else {
+            wc = wc_ldv;
+            dd = dr + wc;
+        }
+        i64 qd = 0;
+        if (dd > 0) {
+            i64 si = 0, s0 = servers[0];
+            for (i64 q = 1; q < ns; q++)
+                if (servers[q] < s0) {
+                    s0 = servers[q];
+                    si = q;
+                }
+            if (s0 > t) {
+                qd = s0 - t;
+                servers[si] = s0 + dd;
+            } else {
+                servers[si] = t + dd;
+            }
+        }
+
+        /* finish recurrence */
+        i64 te = t + ct + qd + dr;
+        i64 stall, fin;
+        if (dep > te) {
+            stall = dep - te;
+            fin = dep + cf + wc;
+        } else {
+            stall = 0;
+            fin = te + cf + wc;
+        }
+
+        pe_free[pe] = fin;
+        finish_v[v] = fin;
+        if (fin > maxfin)
+            maxfin = fin;
+        if (mgr && v >= v_t)
+            heap_push(heap_fin, heap_blk, &heap_size, fin, v / cpb);
+
+        state[S_TOT_COMP] += ct + cf;
+        state[S_TOT_DRAM] += dr;
+        state[S_TOT_WC] += wc;
+        state[S_TOT_STALL] += stall;
+        state[S_TOT_QUEUE] += qd;
+    }
+
+    state[S_FLOOR] = floor_t;
+    state[S_MAXFIN] = maxfin;
+    state[S_HEAP_SIZE] = heap_size;
+    state[S_EP_FIRST] = ep_first;
+    return 0;
+}
+"""
+
+_I64 = ctypes.POINTER(ctypes.c_longlong)
+_U64 = ctypes.POINTER(ctypes.c_ulonglong)
+
+_LIB_CACHE: dict = {}
+
+
+def _find_compiler() -> Optional[str]:
+    cc = os.environ.get("CC")
+    if cc and shutil.which(cc):
+        return shutil.which(cc)
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _compiler_version(cc: str) -> str:
+    try:
+        out = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=30
+        )
+        first = (out.stdout or out.stderr).splitlines()
+        return first[0].strip() if first else "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    home = Path.home() / ".cache" / "repro_native"
+    try:
+        home.mkdir(parents=True, exist_ok=True)
+        return home
+    except OSError:
+        return Path(tempfile.gettempdir()) / "repro_native"
+
+
+def _build(cc: str, version: str) -> Path:
+    """Compile (or reuse) the shared object; returns its path."""
+    key = hashlib.sha256(
+        (_C_SOURCE + "\0" + cc + "\0" + version).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    so_path = cache / f"bitcolor_native_{key}.so"
+    if so_path.exists():
+        return so_path
+    src_path = cache / f"bitcolor_native_{key}.c"
+    src_path.write_text(_C_SOURCE)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+    os.close(fd)
+    try:
+        subprocess.run(
+            [cc, "-O3", "-fPIC", "-shared", "-o", tmp, str(src_path)],
+            check=True,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        os.replace(tmp, so_path)  # atomic: concurrent builders converge
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return so_path
+
+
+def _as_i64(arr: np.ndarray):
+    return arr.ctypes.data_as(_I64)
+
+
+def _as_u64(arr: np.ndarray):
+    return arr.ctypes.data_as(_U64)
+
+
+class _CCKernels:
+    """ctypes bindings over the compiled translation unit."""
+
+    name = "cc"
+
+    def __init__(self, lib: ctypes.CDLL, compiler: str, version: str, path: Path):
+        self.version = version
+        self.compiler = compiler
+        self.library_path = str(path)
+        self._lib = lib
+        ll = ctypes.c_longlong
+        lib.bc_scatter_or.restype = ll
+        lib.bc_scatter_or.argtypes = [_I64, _I64, ll, _U64, ll, ll, _I64]
+        lib.bc_first_free.restype = ll
+        lib.bc_first_free.argtypes = [_U64, ll, ll, _I64]
+        lib.bc_replay_epoch.restype = ll
+        lib.bc_replay_epoch.argtypes = (
+            [ll] * 15 + [_I64] * 15 + [_I64] * 8 + [_I64]
+        )
+
+    # -- raw kernels ---------------------------------------------------
+    def scatter_or(
+        self,
+        rows: np.ndarray,
+        colors: np.ndarray,
+        out: np.ndarray,
+        num_rows: int,
+        num_words: int,
+    ) -> Tuple[int, int]:
+        """Returns ``(status, detail)``: status >= 0 is words_ored."""
+        detail = ctypes.c_longlong(0)
+        status = self._lib.bc_scatter_or(
+            _as_i64(rows),
+            _as_i64(colors),
+            rows.size,
+            _as_u64(out),
+            num_rows,
+            num_words,
+            ctypes.byref(detail),
+        )
+        return int(status), int(detail.value)
+
+    def first_free(self, states: np.ndarray, out: np.ndarray) -> int:
+        """0 on success, ``row + 1`` when that row is saturated."""
+        return int(
+            self._lib.bc_first_free(
+                _as_u64(states), states.shape[0], states.shape[1], _as_i64(out)
+            )
+        )
+
+    def replay_epoch(self, scalars, epoch_arrays, persistent_arrays) -> None:
+        """One epoch of the batched-engine recurrence (see hw/batched.py).
+
+        ``scalars`` is the 15-tuple ``(lo, nloc, v_t, p, ns, mgr, bwc,
+        interval, wc_ldv, or_cyc, hitx, rc, sc, cpb, fin_bwc)``;
+        ``epoch_arrays`` the 13 per-epoch int64 arrays; and
+        ``persistent_arrays`` the 9 cross-epoch int64 arrays ending in
+        the packed ``state`` vector.
+        """
+        args = (
+            [int(s) for s in scalars]
+            + [_as_i64(a) for a in epoch_arrays]
+            + [_as_i64(a) for a in persistent_arrays]
+        )
+        self._lib.bc_replay_epoch(*args)
+
+
+def load() -> _CCKernels:
+    """Build/load the compiled kernels; raises when no compiler works."""
+    cc = _find_compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) found on PATH")
+    version = _compiler_version(cc)
+    so_path = _build(cc, version)
+    key = str(so_path)
+    if key not in _LIB_CACHE:
+        _LIB_CACHE[key] = ctypes.CDLL(key)
+    return _CCKernels(_LIB_CACHE[key], cc, version, so_path)

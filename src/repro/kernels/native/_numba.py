@@ -1,0 +1,345 @@
+"""Numba backend of the native kernel tier.
+
+Importing this module requires :mod:`numba`; the capability probe in
+:mod:`repro.kernels.native` imports it inside a ``try`` and treats any
+failure (missing package, broken LLVM, typing error during the warm-up
+compile) as "backend unavailable", falling through to the C-compiler
+backend.  The jitted functions are exact transliterations of the same
+loops the C translation unit in ``_cc.py`` implements — one behaviour
+contract, two compilers — and both are golden-checked against the
+vectorized kernels before selection.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+from numba import njit
+
+__all__ = ["load"]
+
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ONE = np.uint64(1)
+
+
+@njit(cache=True)
+def _scatter_or(rows, colors, out, num_rows, num_words):
+    maxc = np.int64(0)
+    words_ored = np.int64(0)
+    bad_row = np.int64(0)
+    has_bad = False
+    for i in range(rows.size):
+        c = colors[i]
+        if c <= 0:
+            continue
+        if c > maxc:
+            maxc = c
+        r = rows[i]
+        if (r < -num_rows or r >= num_rows) and not has_bad:
+            has_bad = True
+            bad_row = r
+        words_ored += 1
+    if maxc > num_words * 64:
+        return np.int64(-1), maxc
+    if has_bad:
+        return np.int64(-2), bad_row
+    for i in range(rows.size):
+        c = colors[i]
+        if c <= 0:
+            continue
+        r = rows[i]
+        if r < 0:
+            r += num_rows
+        idx = c - 1
+        out[r, idx >> 6] |= _ONE << np.uint64(idx & 63)
+    return words_ored, np.int64(0)
+
+
+@njit(cache=True)
+def _first_free(states, out):
+    rows, words = states.shape
+    for r in range(rows):
+        w = 0
+        while w < words and states[r, w] == _FULL:
+            w += 1
+        if w == words:
+            return np.int64(r + 1)
+        x = states[r, w]
+        v = ((~x) & (x + _ONE)) - _ONE
+        cnt = np.int64(0)
+        while v != np.uint64(0):
+            v &= v - _ONE
+            cnt += 1
+        out[r] = w * 64 + cnt + 1
+    return np.int64(0)
+
+
+@njit(cache=True)
+def _heap_push(hf, hb, size, fin, blk):
+    i = size
+    while i > 0:
+        par = (i - 1) >> 1
+        if hf[par] <= fin:
+            break
+        hf[i] = hf[par]
+        hb[i] = hb[par]
+        i = par
+    hf[i] = fin
+    hb[i] = blk
+    return size + 1
+
+
+@njit(cache=True)
+def _heap_pop(hf, hb, size):
+    blk = hb[0]
+    m = size - 1
+    fin = hf[m]
+    mb = hb[m]
+    i = 0
+    while True:
+        child = 2 * i + 1
+        if child >= m:
+            break
+        if child + 1 < m and hf[child + 1] < hf[child]:
+            child += 1
+        if hf[child] >= fin:
+            break
+        hf[i] = hf[child]
+        hb[i] = hb[child]
+        i = child
+    hf[i] = fin
+    hb[i] = mb
+    return blk, m
+
+
+@njit(cache=True)
+def _replay_epoch(
+    lo, nloc, v_t, p, ns, mgr, bwc,
+    interval, wc_ldv, or_cyc, hitx, rc, sc, cpb, fin_bwc,
+    comp_l, dram_l, da_l, c0_l, cl_l, edge_dram, mi_l, k_l,
+    lptr, ldst, vptr, vdst, vblk,
+    pe_bind, colors,
+    pe_free, seen, carry, finish_v, servers,
+    heap_fin, heap_blk, dlist, state,
+):
+    floor_t = state[0]
+    maxfin = state[1]
+    heap_size = state[2]
+    ep_first = state[3]
+
+    for vl in range(nloc):
+        v = lo + vl
+
+        # dispatch: PE choice and start time
+        pe = pe_bind[v]
+        if pe < 0:
+            pe = 0
+            fpe = pe_free[0]
+            for q in range(1, p):
+                if pe_free[q] < fpe:
+                    fpe = pe_free[q]
+                    pe = q
+        else:
+            fpe = pe_free[pe]
+        t = fpe if fpe > floor_t else floor_t
+        floor_t = t + interval
+        if ep_first < 0:
+            ep_first = t
+
+        # commits due before this dispatch: merge-buffer invalidation
+        if mgr:
+            while heap_size > 0 and heap_fin[0] <= t:
+                wb, heap_size = _heap_pop(heap_fin, heap_blk, heap_size)
+                for q in range(p):
+                    if carry[q] == wb:
+                        carry[q] = -1
+
+        # conflict deferral against in-flight lower neighbours
+        dep = np.int64(0)
+        nd = 0
+        d_hdv_occ = np.int64(0)
+        if maxfin > t:
+            for i in range(lptr[vl], lptr[vl + 1]):
+                w = ldst[i]
+                fw = finish_v[w]
+                if fw > t:
+                    if w < v_t:
+                        d_hdv_occ += 1
+                    dup = False
+                    for j in range(nd):
+                        if dlist[j] == w:
+                            dup = True
+                            break
+                    if not dup:
+                        dlist[nd] = w
+                        nd += 1
+                        if fw > dep:
+                            dep = fw
+
+        ct = comp_l[vl]
+        dr = dram_l[vl]
+        if nd == 0:
+            if mgr:
+                if c0_l[vl] == carry[pe]:
+                    state[10] += 1
+                    dr += da_l[vl]
+                cl = cl_l[vl]
+                if cl >= 0:
+                    carry[pe] = cl
+        else:
+            # correction path: replay the fetch sequence without the
+            # deferred neighbours
+            state[9] += nd
+            lp = vptr[vl]
+            rp = vptr[vl + 1]
+            cur = carry[pe]
+            last_c = np.int64(-1)
+            merged = np.int64(0)
+            misses = np.int64(0)
+            stream = np.int64(0)
+            reads = np.int64(0)
+            for i in range(lp, rp):
+                w = vdst[i]
+                deferred = False
+                for j in range(nd):
+                    if dlist[j] == w:
+                        deferred = True
+                        break
+                if deferred:
+                    continue
+                b = vblk[i]
+                reads += 1
+                if mgr and b == cur:
+                    merged += 1
+                else:
+                    misses += 1
+                    if last_c >= 0 and b == last_c + 1:
+                        stream += 1
+                    last_c = b
+                    cur = b
+            if mgr:
+                carry[pe] = cur
+            dr = edge_dram[vl] + stream * sc + (misses - stream) * rc
+            ct -= hitx * d_hdv_occ
+            state[15] += rp - lp
+            state[16] += reads
+            state[12] += merged
+            state[14] += misses
+            state[11] += mi_l[vl]
+            state[13] += k_l[vl]
+            state[17] += d_hdv_occ
+
+        # finalize cycles (Steps 6-7)
+        if bwc:
+            cf = fin_bwc
+        else:
+            col = colors[v]
+            sm = seen[pe]
+            cf = col + sm
+            if col > sm:
+                seen[pe] = col
+        if nd > 0:
+            cf += or_cyc
+
+        # write-back + physical DRAM channel queueing
+        if v < v_t:
+            wc = np.int64(1)
+            dd = dr
+        else:
+            wc = wc_ldv
+            dd = dr + wc_ldv
+        qd = np.int64(0)
+        if dd > 0:
+            si = 0
+            s0 = servers[0]
+            for q in range(1, ns):
+                if servers[q] < s0:
+                    s0 = servers[q]
+                    si = q
+            if s0 > t:
+                qd = s0 - t
+                servers[si] = s0 + dd
+            else:
+                servers[si] = t + dd
+
+        # finish recurrence
+        te = t + ct + qd + dr
+        if dep > te:
+            stall = dep - te
+            fin = dep + cf + wc
+        else:
+            stall = np.int64(0)
+            fin = te + cf + wc
+
+        pe_free[pe] = fin
+        finish_v[v] = fin
+        if fin > maxfin:
+            maxfin = fin
+        if mgr and v >= v_t:
+            heap_size = _heap_push(heap_fin, heap_blk, heap_size, fin, v // cpb)
+
+        state[4] += ct + cf
+        state[5] += dr
+        state[6] += wc
+        state[7] += stall
+        state[8] += qd
+
+    state[0] = floor_t
+    state[1] = maxfin
+    state[2] = heap_size
+    state[3] = ep_first
+    return np.int64(0)
+
+
+class _NumbaKernels:
+    """The jitted entry points behind the shared backend protocol."""
+
+    name = "numba"
+    compiler = "numba"
+    library_path = None
+
+    def __init__(self):
+        self.version = numba.__version__
+
+    def scatter_or(self, rows, colors, out, num_rows, num_words):
+        status, detail = _scatter_or(
+            rows, colors, out, np.int64(num_rows), np.int64(num_words)
+        )
+        return int(status), int(detail)
+
+    def first_free(self, states, out):
+        return int(_first_free(states, out))
+
+    def replay_epoch(self, scalars, epoch_arrays, persistent_arrays):
+        args = [np.int64(s) for s in scalars]
+        args.extend(epoch_arrays)
+        args.extend(persistent_arrays)
+        _replay_epoch(*args)
+
+
+def _warm(impl: _NumbaKernels) -> None:
+    """Force compilation of every jitted function at probe time.
+
+    A typing or LLVM failure must disqualify the backend during
+    detection (where the probe catches it), not on the first real call.
+    """
+    out = np.zeros((1, 1), dtype=np.uint64)
+    impl.scatter_or(
+        np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), out, 1, 1
+    )
+    impl.first_free(out, np.zeros(1, dtype=np.int64))
+    z = np.zeros(1, dtype=np.int64)
+    e = np.zeros(2, dtype=np.int64)
+    impl.replay_epoch(
+        (0, 0, 0, 1, 1, 0, 0, 1, 1, 1, 0, 1, 1, 1, 0),
+        [z, z, z, z, z, z, z, z, e, z, e, z, z],
+        [z, z, z.copy(), z.copy(), z.copy(), z.copy(), z.copy(),
+         z.copy(), z.copy(), z.copy(), np.zeros(18, dtype=np.int64)],
+    )
+
+
+def load() -> _NumbaKernels:
+    """Compile-warm the jitted kernels; raises when numba cannot."""
+    impl = _NumbaKernels()
+    _warm(impl)
+    return impl

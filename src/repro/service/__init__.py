@@ -51,7 +51,14 @@ from .jobs import (
     ServiceError,
 )
 from .queue import AdmissionQueue
-from .router import DEGRADATION_LADDER, RouteDecision, Router, next_rung
+from .router import (
+    DEGRADATION_LADDER,
+    MICROBATCH_CROSSOVER,
+    RouteDecision,
+    Router,
+    next_rung,
+    preferred_software_tier,
+)
 from .server import ServiceServer, serve
 from .service import ColoringService, ServiceConfig
 
@@ -68,6 +75,7 @@ __all__ = [
     "JobResult",
     "JobState",
     "JobTimeout",
+    "MICROBATCH_CROSSOVER",
     "ResultCache",
     "RetryAfter",
     "RouteDecision",
@@ -80,6 +88,7 @@ __all__ = [
     "connect",
     "disjoint_union",
     "next_rung",
+    "preferred_software_tier",
     "run_microbatch",
     "serve",
 ]

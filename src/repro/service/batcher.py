@@ -41,23 +41,30 @@ __all__ = [
     "run_microbatch",
 ]
 
-BATCHABLE_BACKENDS = ("vectorized", "python")
+BATCHABLE_BACKENDS = ("vectorized", "native", "python")
 """Software bitwise backends whose union coloring is provably identical."""
 
 BATCHABLE_OPTS = frozenset({"prune_uncolored"})
 """Options that commute with the disjoint union (see module docstring)."""
 
 
-def batch_key(request: JobRequest, graph: CSRGraph) -> Optional[tuple]:
+def batch_key(
+    request: JobRequest,
+    graph: CSRGraph,
+    *,
+    default_backend: Optional[str] = None,
+) -> Optional[tuple]:
     """The coalescing key for ``request``, or None when not batchable.
 
     Jobs with equal keys can share one kernel invocation.  The key pins
     everything that changes the executed code path: algorithm, effective
-    backend, and the exact option set.
+    backend, and the exact option set.  ``default_backend`` is the
+    backend an unpinned job effectively runs on (the router passes its
+    preferred software tier); None keeps the vectorized default.
     """
     if request.algorithm != "bitwise" or request.engine is not None:
         return None
-    backend = request.backend or "vectorized"
+    backend = request.backend or default_backend or "vectorized"
     if backend not in BATCHABLE_BACKENDS:
         return None
     if not set(request.opts) <= BATCHABLE_OPTS:

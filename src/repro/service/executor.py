@@ -38,7 +38,11 @@ __all__ = ["BACKEND_ONLY_OPTS", "BackendHealth", "Executor"]
 
 BACKEND_ONLY_OPTS: Dict[str, Tuple[str, ...]] = {
     "parallel": ("workers", "num_shards", "partition"),
-    "hw": ("config", "parallelism", "flags", "trace", "engine", "epoch_size"),
+    "hw": (
+        "config", "parallelism", "flags", "trace", "engine", "epoch_size",
+        "replay",
+    ),
+    "native": ("native_strict",),
 }
 """Options only one backend understands.  A degraded job must not leak
 them to the rung that actually runs (the vectorized kernel rejects

@@ -10,7 +10,11 @@ The router turns one job (plus its resolved graph) into a
   which is color-identical by construction);
 * an unpinned **small** job goes to the micro-batch lane, where the
   batcher coalesces it with its queue neighbours into one vectorized
-  kernel invocation;
+  kernel invocation; the size threshold is the **per-tier micro-batch
+  crossover** (:data:`MICROBATCH_CROSSOVER`) — when the compiled native
+  kernel tier is available, small jobs stop paying NumPy dispatch
+  overhead, so the crossover drops and more jobs run solo on the
+  native tier instead of waiting for batch companions;
 * an unpinned **large** job is routed by degree skew, following how the
   backends actually behave on the two graph families the paper
   evaluates: power-law graphs (high skew) shard well, so they go to
@@ -21,8 +25,9 @@ The router turns one job (plus its resolved graph) into a
 
 The router also owns the **degradation ladder** the executor climbs
 down when a backend keeps failing: ``parallel → vectorized → python``
-(and ``hw → vectorized``), each rung trading speed for a simpler, more
-isolated execution path that cannot be broken by pool workers dying.
+(and ``hw → vectorized``, ``native → vectorized``), each rung trading
+speed for a simpler, more isolated execution path that cannot be broken
+by pool workers dying.
 """
 
 from __future__ import annotations
@@ -37,18 +42,45 @@ from .jobs import JobRequest
 
 __all__ = [
     "DEGRADATION_LADDER",
+    "MICROBATCH_CROSSOVER",
     "RouteDecision",
     "Router",
     "next_rung",
+    "preferred_software_tier",
 ]
 
 DEGRADATION_LADDER = {
     "parallel": "vectorized",
     "hw": "vectorized",
+    "native": "vectorized",
     "vectorized": "python",
 }
 """``backend -> next rung`` when a backend repeatedly fails; ``python``
 (absent) is the floor — the pure in-process reference loop."""
+
+MICROBATCH_CROSSOVER = {
+    "python": 256,
+    "vectorized": 2048,
+    "native": 512,
+}
+"""Micro-batch crossover (max vertices) per software kernel tier: below
+it, an unpinned job is worth coalescing with queue companions; above it,
+a solo kernel invocation amortises its own dispatch overhead.  Measured
+on the kernel bench smoke graphs: the native tier's per-call overhead is
+a fraction of NumPy dispatch, so its crossover sits ~4x lower — exactly
+the tier's rationale (small jobs stop paying dispatch overhead)."""
+
+
+def preferred_software_tier() -> str:
+    """The software tier the router prefers for unpinned jobs.
+
+    ``"native"`` when the compiled kernel tier's capability probe
+    succeeds, else ``"vectorized"`` (detection is cached after the first
+    call).
+    """
+    from ..kernels import preferred_tier
+
+    return preferred_tier()
 
 
 def next_rung(backend: Optional[str]) -> Optional[str]:
@@ -83,17 +115,35 @@ class RouteDecision:
 
 
 class Router:
-    """Size/skew routing heuristics (thresholds are service config)."""
+    """Size/skew routing heuristics (thresholds are service config).
+
+    ``software_tier`` is the kernel tier unpinned software jobs run on
+    (``"native"`` when available, else ``"vectorized"`` — see
+    :func:`preferred_software_tier`); it also selects the micro-batch
+    crossover from :data:`MICROBATCH_CROSSOVER` when ``small_vertices``
+    is left at None.
+    """
 
     def __init__(
         self,
         *,
-        small_vertices: int = 2048,
+        small_vertices: Optional[int] = None,
         large_vertices: int = 50_000,
         skew_threshold: float = 8.0,
         batching: bool = True,
+        software_tier: Optional[str] = None,
     ):
-        self.small_vertices = small_vertices
+        self.software_tier = software_tier or preferred_software_tier()
+        if self.software_tier not in MICROBATCH_CROSSOVER:
+            raise ValueError(
+                f"unknown software tier {self.software_tier!r}; "
+                f"known: {', '.join(MICROBATCH_CROSSOVER)}"
+            )
+        self.small_vertices = (
+            small_vertices
+            if small_vertices is not None
+            else MICROBATCH_CROSSOVER[self.software_tier]
+        )
         self.large_vertices = large_vertices
         self.skew_threshold = skew_threshold
         self.batching = batching
@@ -102,9 +152,22 @@ class Router:
         spec = get_algorithm(request.algorithm)
         pinned = request.backend is not None or request.engine is not None
         backend = request.backend or spec.default_backend
+        # Unpinned jobs whose spec default is the vectorized tier ride
+        # the preferred software tier instead (pinned choices are kept
+        # verbatim — parity with a direct repro.color call).
+        if (
+            request.backend is None
+            and backend == "vectorized"
+            and self.software_tier in spec.backends
+        ):
+            backend = self.software_tier
         engine = request.engine
 
-        key = batch_key(request, graph) if self.batching else None
+        key = (
+            batch_key(request, graph, default_backend=self.software_tier)
+            if self.batching
+            else None
+        )
         if key is not None and graph.num_vertices <= self.small_vertices:
             reason = "(pinned, batchable)" if pinned else "(small)"
             return RouteDecision(

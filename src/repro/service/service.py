@@ -82,7 +82,9 @@ class ServiceConfig:
     """How long the dispatcher lingers for companions after the first
     batchable job; 0 batches only what is already queued."""
     # routing
-    small_vertices: int = 2048
+    small_vertices: Optional[int] = None
+    """Micro-batch crossover; None resolves to the router's per-tier
+    constant (:data:`repro.service.router.MICROBATCH_CROSSOVER`)."""
     large_vertices: int = 50_000
     skew_threshold: float = 8.0
     # caching

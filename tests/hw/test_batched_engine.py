@@ -212,6 +212,147 @@ def test_standins_flag_subsets_exact(key, flags):
 
 
 # ----------------------------------------------------------------------
+# Native replay tier (repro.kernels.native): same parity contract as the
+# Python recurrence; skips cleanly where no compiled backend is usable.
+# ----------------------------------------------------------------------
+from repro.kernels import native as native_kernels  # noqa: E402
+
+needs_native = pytest.mark.skipif(
+    not native_kernels.available(),
+    reason=f"native tier unavailable: {native_kernels.unavailable_reason()}",
+)
+
+
+def assert_replay_parity(graph, cfg, flags, *, epoch_size=None):
+    """Native replay vs Python replay on the batched engine: exact."""
+    py = BitColorAccelerator(
+        cfg, flags, engine="batched", epoch_size=epoch_size, replay="python"
+    ).run(graph)
+    na = BitColorAccelerator(
+        cfg, flags, engine="batched", epoch_size=epoch_size, replay="native"
+    ).run(graph)
+    np.testing.assert_array_equal(py.colors, na.colors)
+    assert py.num_colors == na.num_colors
+    assert dataclasses.asdict(py.stats) == dataclasses.asdict(na.stats)
+
+
+def test_replay_knob_validation():
+    with pytest.raises(ValueError, match="unknown replay"):
+        BitColorAccelerator(replay="fortran")
+    acc = BitColorAccelerator(engine="batched", replay="native")
+    assert acc.replay == "native"
+    assert BitColorAccelerator().replay == "auto"
+
+
+def test_run_batched_replay_validation(small_graphs):
+    with pytest.raises(ValueError, match="unknown replay"):
+        run_batched(
+            small_graphs["pre"], HWConfig(), OptimizationFlags.all(),
+            replay="fortran",
+        )
+
+
+def test_trace_with_explicit_native_replay_rejected(small_graphs):
+    with pytest.raises(ValueError, match="replay='python'"):
+        BitColorAccelerator(
+            HWConfig(parallelism=4), engine="batched", replay="native"
+        ).run(small_graphs["pre"], trace=True)
+
+
+def test_trace_with_auto_replay_falls_back_to_python(small_graphs):
+    # trace=True forces the Python recurrence under replay="auto"; the
+    # trace must still match the event engine's, native tier or not.
+    cfg = HWConfig(parallelism=4, cache_bytes=256)
+    ev = BitColorAccelerator(cfg).run(small_graphs["pre"], trace=True)
+    ba = BitColorAccelerator(cfg, engine="batched").run(
+        small_graphs["pre"], trace=True
+    )
+    assert ev.trace.tasks == ba.trace.tasks
+
+
+def test_native_replay_unavailable_falls_back_silently(
+    small_graphs, monkeypatch
+):
+    # With the tier disabled, replay="native" must produce the same
+    # result via the Python recurrence — no error, no divergence.
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    native_kernels.refresh()
+    try:
+        cfg = HWConfig(parallelism=4, cache_bytes=256)
+        assert_replay_parity(small_graphs["pre"], cfg, OptimizationFlags.all())
+    finally:
+        native_kernels.refresh()
+
+
+@needs_native
+@pytest.mark.parametrize("flags", ALL_FLAG_COMBOS, ids=lambda f: f.label())
+@pytest.mark.parametrize("parallelism", [1, 4])
+def test_native_replay_all_flag_combos_exact(small_graphs, flags, parallelism):
+    cfg = HWConfig(parallelism=parallelism, cache_bytes=256)
+    for g in small_graphs.values():
+        assert_replay_parity(g, cfg, flags)
+
+
+@needs_native
+@pytest.mark.parametrize("epoch_size", [1, 7, 57, 64, 100000])
+def test_native_replay_epoch_boundaries(small_graphs, epoch_size):
+    cfg = HWConfig(parallelism=8, cache_bytes=512)
+    assert_replay_parity(
+        small_graphs["pre"], cfg, OptimizationFlags.all(),
+        epoch_size=epoch_size,
+    )
+
+
+@needs_native
+def test_native_replay_empty_and_singleton():
+    cfg = HWConfig(parallelism=4)
+    for g in (CSRGraph.from_edge_list(0, []), CSRGraph.from_edge_list(1, [])):
+        assert_replay_parity(g, cfg, OptimizationFlags.all())
+
+
+@needs_native
+@given(
+    graph=graphs(),
+    flags=flag_sets(),
+    parallelism=st.sampled_from([1, 2, 3, 4, 16]),
+    cache_bytes=st.sampled_from([2, 64, 1024]),
+    epoch_size=st.sampled_from([1, 5, 4096]),
+)
+@settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_native_replay_property_parity(
+    graph, flags, parallelism, cache_bytes, epoch_size
+):
+    cfg = HWConfig(parallelism=parallelism, cache_bytes=cache_bytes)
+    assert_replay_parity(graph, cfg, flags, epoch_size=epoch_size)
+
+
+@needs_native
+@pytest.mark.parametrize("key", DATASET_KEYS)
+def test_native_replay_standins_exact(key):
+    g = load_dataset(key)
+    cfg = get_spec(key).config_for(16, g.num_vertices)
+    assert_replay_parity(g, cfg, OptimizationFlags.all())
+
+
+@needs_native
+@pytest.mark.parametrize("key", ["EF", "CD"])
+def test_native_auto_equals_event_engine(key):
+    # Under replay="auto" the batched engine silently uses the compiled
+    # recurrence when available; its results must still equal the event
+    # engine exactly — the full three-way contract.
+    g = load_dataset(key)
+    cfg = get_spec(key).config_for(8, g.num_vertices)
+    ev = BitColorAccelerator(cfg, OptimizationFlags.all()).run(g)
+    au = BitColorAccelerator(
+        cfg, OptimizationFlags.all(), engine="batched"
+    ).run(g)
+    np.testing.assert_array_equal(ev.colors, au.colors)
+    assert dataclasses.asdict(ev.stats) == dataclasses.asdict(au.stats)
+
+
+# ----------------------------------------------------------------------
 # Layer 4: opt-in exhaustive matrix (slow; run before release)
 # ----------------------------------------------------------------------
 @pytest.mark.skipif(

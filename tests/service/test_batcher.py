@@ -53,6 +53,17 @@ class TestBatchKey:
         key = batch_key(self.request(), complete_graph(3))
         assert key == ("bitwise", "vectorized", ())
 
+    def test_default_backend_fills_unpinned_key(self):
+        # The router passes its software tier; unpinned jobs key on it,
+        # pinned jobs keep their own backend.
+        g = complete_graph(3)
+        key = batch_key(self.request(), g, default_backend="native")
+        assert key == ("bitwise", "native", ())
+        pinned = batch_key(
+            self.request(backend="python"), g, default_backend="native"
+        )
+        assert pinned == ("bitwise", "python", ())
+
     @pytest.mark.parametrize("backend", BATCHABLE_BACKENDS)
     def test_software_backends_batchable(self, backend):
         key = batch_key(self.request(backend=backend), complete_graph(3))

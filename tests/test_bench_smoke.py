@@ -15,11 +15,14 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import (
+    check_hw_native_smoke,
     check_hw_smoke,
+    check_native_smoke,
     check_obs_overhead,
     check_smoke,
     load_hw_results,
     load_results,
+    run_native_smoke,
     run_smoke,
 )
 from repro.experiments.hw_bench import DEFAULT_HW_RESULT_PATH, LARGEST_STANDIN
@@ -116,3 +119,63 @@ def test_run_smoke_shape():
     assert doc["baseline_speedup"] == pytest.approx(
         doc["python_s"] / doc["vectorized_s"]
     )
+
+
+def test_native_kernel_gate():
+    """The compiled tier must clear its absolute floor — or skip cleanly.
+
+    ``ok is None`` means no native backend is usable on this host, which
+    is a legitimate state (the tier is opt-in); anything else is a hard
+    pass/fail against the >= 3x acceptance floor.
+    """
+    ok, current, threshold = check_native_smoke(repeats=3)
+    if ok is None:
+        from repro.kernels import native
+
+        pytest.skip(f"native tier unavailable: {native.unavailable_reason()}")
+    assert ok, (
+        f"compiled kernels fell below the acceptance floor: "
+        f"{current:.2f}x < {threshold:.2f}x"
+    )
+
+
+def test_native_replay_gate():
+    """Same shape for the batched engine's compiled replay recurrence."""
+    ok, current, threshold = check_hw_native_smoke(repeats=2)
+    if ok is None:
+        from repro.kernels import native
+
+        pytest.skip(f"native tier unavailable: {native.unavailable_reason()}")
+    assert ok, (
+        f"compiled replay fell below the acceptance floor: "
+        f"{current:.2f}x < {threshold:.2f}x"
+    )
+
+
+def test_native_smoke_doc_shape():
+    doc = run_native_smoke(repeats=1)
+    if not doc["available"]:
+        assert doc["reason"]
+        return
+    assert doc["baseline_speedup"] == pytest.approx(
+        doc["vectorized_s"] / doc["native_s"]
+    )
+    assert doc["backend"]["name"]
+
+
+def test_native_baseline_recorded_when_available():
+    """The checked-in JSON must carry the native evidence for this PR's
+    acceptance: >= 3x on the raw kernel bench (recorded on the machine
+    that regenerated it — the block is absent only if that machine had
+    no compiler, which the seed baseline did)."""
+    doc = json.loads(DEFAULT_RESULT_PATH.read_text())
+    native_smoke = doc.get("native_smoke")
+    assert native_smoke is not None
+    if native_smoke["available"]:
+        assert native_smoke["baseline_speedup"] >= 3.0
+        assert native_smoke["backend"]["name"]
+    hw_doc = json.loads(DEFAULT_HW_RESULT_PATH.read_text())
+    hw_native = hw_doc.get("native_smoke")
+    assert hw_native is not None
+    if hw_native["available"]:
+        assert hw_native["baseline_speedup"] >= 1.2

@@ -22,6 +22,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["color"])
 
+    def test_version_reports_kernel_tiers(self, capsys):
+        import repro
+        from repro.kernels import capabilities
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert "kernel tiers:" in out
+        caps = capabilities()
+        for tier in caps["tiers"]:
+            assert tier in out
+        if caps["native_available"]:
+            assert caps["native_backend"]["name"] in out
+        else:
+            assert "unavailable" in out
+
+    def test_color_accepts_native_backend(self):
+        args = build_parser().parse_args(
+            ["color", "--dataset", "EF", "--backend", "native"]
+        )
+        assert args.backend == "native"
+
+    def test_simulate_replay_choices(self):
+        args = build_parser().parse_args(
+            ["simulate", "--dataset", "EF", "--engine", "batched",
+             "--replay", "native"]
+        )
+        assert args.replay == "native"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--dataset", "EF", "--replay", "fortran"]
+            )
+
 
 class TestGenerate:
     @pytest.mark.parametrize("kind", ["rmat", "road", "uniform", "community"])
@@ -52,6 +87,16 @@ class TestColor:
         assert rc == 0
         assert "validated" in capsys.readouterr().out
 
+    def test_color_native_backend_end_to_end(self, capsys):
+        # backend="native" silently falls back without a compiler, so
+        # this runs (and must succeed) on every host.
+        rc = main([
+            "color", "--dataset", "EF", "--algorithm", "bitwise",
+            "--backend", "native",
+        ])
+        assert rc == 0
+        assert "validated" in capsys.readouterr().out
+
     def test_unknown_dataset(self):
         with pytest.raises(SystemExit):
             main(["color", "--dataset", "NOPE"])
@@ -78,6 +123,16 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "PE 0" in out
         assert "HDC+BWC" in out
+
+    def test_simulate_native_replay_end_to_end(self, capsys):
+        # replay="native" silently falls back without a compiler, so this
+        # runs (and must succeed) on every host.
+        rc = main([
+            "simulate", "--dataset", "EF", "-p", "4",
+            "--engine", "batched", "--replay", "native",
+        ])
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out
 
 
 class TestServeParser:
