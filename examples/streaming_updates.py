@@ -1,70 +1,84 @@
 #!/usr/bin/env python
-"""Streaming graphs: maintain a coloring while the network grows.
+"""Streaming graphs: a live session keeps the coloring fresh as edges arrive.
 
 The paper's motivation is that graphs "grow rapidly".  When edges arrive
 continuously (new friendships, new road segments), recoloring from
 scratch per batch is wasteful: most insertions don't conflict, and those
-that do are repairable locally.  This example streams a social network
-in, maintains the coloring incrementally, and compares the repair work
-against periodic from-scratch recoloring — then shows how the BitColor
-accelerator would serve as the periodic "re-optimize" pass that squeezes
-the color count back down after drift.
+that do are repairable locally.  This example registers a prefix of a
+social network with the coloring service's **session lane**, streams the
+remaining edges in as delta batches, and folds the sparse recolor diffs
+into a client-side mirror — exactly what a long-lived client does over
+the socket, minus the socket.  When accumulated churn trips the
+session's threshold, the service transparently falls back to one full
+recolor through the backend router and ships the (still sparse) diff.
+Finally, the BitColor accelerator serves as the "re-optimize" pass that
+squeezes the color count back down after drift.
 
 Run:  python examples/streaming_updates.py
 """
 
 import numpy as np
 
-from repro.coloring import (
-    IncrementalColoring,
-    assert_proper_coloring,
-    greedy_coloring_fast,
-    num_colors,
-)
-from repro.graph import degree_based_grouping, rmat, sort_edges
+from repro.coloring import assert_proper_coloring
+from repro.graph import CSRGraph, degree_based_grouping, rmat, sort_edges
 from repro.hw import BitColorAccelerator, HWConfig
+from repro.service import Client, ColoringService, ServiceConfig
 
 # ----------------------------------------------------------------------
-# The full network we'll stream in, edge by edge.
+# The full network, split into a registered prefix + an arrival stream.
 # ----------------------------------------------------------------------
 final = rmat(11, 8, seed=99, name="stream")
-edges = [(u, v) for u, v in final.iter_edges() if u < v]
+pairs = final.edge_array()
+pairs = pairs[pairs[:, 0] < pairs[:, 1]]  # one orientation per edge
 rng = np.random.default_rng(5)
-rng.shuffle(edges)
-print(f"streaming {len(edges)} edges over {final.num_vertices} vertices")
+pairs = pairs[rng.permutation(pairs.shape[0])]
+
+cut = int(pairs.shape[0] * 0.6)
+prefix = CSRGraph.from_arrays(
+    final.num_vertices, pairs[:cut, 0], pairs[:cut, 1],
+    symmetrize=True, name="stream-prefix",
+)
+BATCH = 256
+batches = [pairs[i : i + BATCH] for i in range(cut, pairs.shape[0], BATCH)]
+print(f"registering {prefix.num_undirected_edges} edges over "
+      f"{prefix.num_vertices} vertices; "
+      f"{pairs.shape[0] - cut} more arrive in {len(batches)} batches")
 
 # ----------------------------------------------------------------------
-# Incremental maintenance.
+# One session, many delta batches, sparse diffs back.
 # ----------------------------------------------------------------------
-inc = IncrementalColoring(final.num_vertices)
-checkpoints = [len(edges) // 4, len(edges) // 2, 3 * len(edges) // 4, len(edges)]
-ck = 0
-for i, (u, v) in enumerate(edges, start=1):
-    inc.add_edge(u, v)
-    if ck < len(checkpoints) and i == checkpoints[ck]:
-        ck += 1
-        snapshot = inc.to_graph()
-        assert_proper_coloring(snapshot, inc.colors())
-        scratch = num_colors(greedy_coloring_fast(snapshot))
-        print(f"  after {i:6d} edges: {inc.num_colors():3d} colors maintained "
-              f"(from-scratch greedy: {scratch}), "
-              f"{inc.stats.vertices_recolored} repairs so far")
-
-s = inc.stats
-print(f"\nstream done: {s.conflicts_repaired} conflicts repaired, "
-      f"total repair work {s.recolor_work} neighbour scans")
-print(f"a per-edge rebuild would have scanned "
-      f"~{len(edges) * final.num_edges // 2:.2e} neighbours — "
-      f"{len(edges) * final.num_edges // 2 / max(s.recolor_work, 1):.0f}x more")
+with ColoringService(ServiceConfig(session_churn_threshold=0.10)) as svc:
+    client = Client(svc)
+    with client.register(prefix, algorithm="greedy") as session:
+        print(f"session {session.info.session_id}: "
+              f"{session.info.n_colors} colors on the prefix\n")
+        shipped = 0
+        for adds in batches:
+            out = session.apply(adds)
+            shipped += out.changed.size
+            marker = "full recolor" if out.mode == "full" else "incremental"
+            print(f"  epoch {out.epoch:2d}: +{out.edges_added:3d} edges, "
+                  f"{out.changed.size:4d} vertices recolored "
+                  f"({marker}), {out.n_colors} colors, "
+                  f"churn {out.churn:.2f}")
+        session.verify()  # server-side validity check of the live coloring
+        n = session.info.num_vertices
+        print(f"\nstream done: diffs shipped {shipped} vertex recolors total "
+              f"across {len(batches)} batches — a full-coloring wire format "
+              f"would have shipped {len(batches) * n} "
+              f"({len(batches) * n / max(shipped, 1):.0f}x more)")
+        # The folded mirror matches the server's coloring bit for bit.
+        mirror = session.colors
+        assert_proper_coloring(final, mirror)
+        final_colors = int(np.unique(mirror[mirror > 0]).size)
 
 # ----------------------------------------------------------------------
 # Periodic re-optimization on the accelerator: incremental repair lets
-# the color count drift above what greedy achieves; a BitColor pass over
-# the current snapshot resets it.
+# the color count drift above what a fresh pass achieves; a BitColor
+# pass over the final snapshot resets it.
 # ----------------------------------------------------------------------
-snapshot = inc.to_graph()
-g = sort_edges(degree_based_grouping(snapshot).graph)
+g = sort_edges(degree_based_grouping(final).graph)
 accel = BitColorAccelerator(HWConfig(parallelism=16)).run(g)
-print(f"\nre-optimization pass on the accelerator: "
-      f"{inc.num_colors()} -> {accel.num_colors} colors in "
+print(f"re-optimization pass on the accelerator: "
+      f"{final_colors} -> {accel.num_colors} colors in "
       f"{accel.time_seconds * 1e6:.0f} us (modelled)")

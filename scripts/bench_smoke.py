@@ -55,11 +55,21 @@ design:
    asserted first) and requires >= 1.2x; the whole-run number is diluted
    by the shared vectorized precompute, hence the modest floor.
 
+A seventh gate runs against ``BENCH_streaming.json``:
+
+7. **Streaming-lane speedup** — replays the fixed RMAT stream through a
+   live service session (validity asserted after every batch, untimed)
+   and requires the sustained deltas/sec to beat the naive per-batch
+   full recolor by an **absolute >= 10x** (``--streaming-floor``).  An
+   absolute floor, not a baseline ratio: the failure mode is the
+   incremental path silently degrading to per-batch full recolors,
+   which reads as ~1x regardless of host speed.
+
 Usage:
 
     python scripts/bench_smoke.py [--factor 2.0] [--repeats 3]
         [--obs-limit 1.05] [--skip-hw] [--skip-service] [--skip-native]
-        [--service-factor 4.0]
+        [--skip-streaming] [--service-factor 4.0] [--streaming-floor 10.0]
 """
 
 from __future__ import annotations
@@ -78,9 +88,11 @@ from repro.experiments import (  # noqa: E402
     check_obs_overhead,
     check_service_smoke,
     check_smoke,
+    check_streaming_smoke,
     load_hw_results,
     load_results,
     load_service_results,
+    load_streaming_results,
 )
 
 
@@ -145,6 +157,25 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-native",
         action="store_true",
         help="skip the native kernel-tier gates",
+    )
+    parser.add_argument(
+        "--streaming-baseline",
+        type=Path,
+        default=None,
+        help="streaming result JSON to echo alongside the gate "
+             "(default: repo BENCH_streaming.json)",
+    )
+    parser.add_argument(
+        "--streaming-floor",
+        type=float,
+        default=10.0,
+        help="absolute floor for the session-lane speedup over naive "
+             "per-batch full recolor (default: 10.0)",
+    )
+    parser.add_argument(
+        "--skip-streaming",
+        action="store_true",
+        help="skip the streaming session-lane gate",
     )
     args = parser.parse_args(argv)
 
@@ -214,6 +245,26 @@ def main(argv: list[str] | None = None) -> int:
         if not svc_ok:
             print("FAIL: service micro-batching regressed more than the "
                   "allowed factor")
+            return 1
+
+    if not args.skip_streaming:
+        try:
+            streaming_baseline = load_streaming_results(args.streaming_baseline)
+        except FileNotFoundError as e:
+            print(f"no streaming baseline found ({e.filename}); "
+                  "run benchmarks/bench_streaming.py")
+            return 1
+        str_ok, str_current, str_threshold = check_streaming_smoke(
+            streaming_baseline, floor=args.streaming_floor, repeats=args.repeats
+        )
+        str_recorded = float(streaming_baseline["smoke"]["baseline_speedup"])
+        print(
+            f"streaming session-lane speedup: current {str_current:.2f}x, "
+            f"recorded {str_recorded:.2f}x, floor {str_threshold:.2f}x"
+        )
+        if not str_ok:
+            print("FAIL: session lane fell below the absolute floor over "
+                  "naive per-batch full recolor")
             return 1
 
     if not args.skip_native:

@@ -10,7 +10,9 @@ Installed as ``bitcolor-repro`` (or run ``python -m repro.cli``):
 * ``experiment`` — regenerate one paper table/figure;
 * ``serve`` — run the long-lived coloring service on a Unix socket;
 * ``submit`` — send one coloring job (or a status probe) to a served
-  instance and print the result.
+  instance and print the result;
+* ``submit-deltas`` — open a session on a served instance and stream
+  synthetic edge-delta batches through the dynamic-graph lane.
 """
 
 from __future__ import annotations
@@ -232,12 +234,14 @@ def cmd_submit(args) -> int:
             **opts,
         )
         if args.dataset:
-            result = client.color_retrying(dataset=args.dataset, **kwargs)
+            result = client.color(dataset=args.dataset, retries=32, **kwargs)
         else:
             graph_args = argparse.Namespace(
                 dataset=None, input=args.input, raw=args.raw
             )
-            result = client.color_retrying(_load_graph(graph_args), **kwargs)
+            result = client.color(
+                _load_graph(graph_args), retries=32, **kwargs
+            )
     label = args.dataset or args.input
     print(f"{label}: {result.n_colors} colors via {result.route}")
     print(f"attempts={result.attempts} cache_hit={result.cache_hit} "
@@ -246,6 +250,62 @@ def cmd_submit(args) -> int:
     if args.output:
         np.save(args.output, result.colors)
         print(f"colors written to {args.output}")
+    return 0
+
+
+def cmd_submit_deltas(args) -> int:
+    """Drive the session lane: register, stream delta batches, verify."""
+    import time as _time
+
+    from .service import connect
+
+    rng = np.random.default_rng(args.seed)
+    with connect(args.socket, client_id=args.client_id) as client:
+        if args.dataset:
+            handle = client.register(
+                dataset=args.dataset, algorithm=args.algorithm,
+                backend=args.backend,
+            )
+        else:
+            if not args.input:
+                raise SystemExit("submit-deltas needs --dataset or --input")
+            graph_args = argparse.Namespace(
+                dataset=None, input=args.input, raw=args.raw
+            )
+            handle = client.register(
+                _load_graph(graph_args), algorithm=args.algorithm,
+                backend=args.backend,
+            )
+        with handle:
+            info = handle.info
+            print(f"session {handle.session_id}: {info.num_vertices} vertices, "
+                  f"{info.num_edges} edges, {info.n_colors} colors"
+                  f"{' (graph deduplicated)' if info.graph_reused else ''}")
+            n = info.num_vertices
+            deltas = 0
+            changed = 0
+            t0 = _time.perf_counter()
+            for b in range(args.batches):
+                add = rng.integers(0, n, size=(args.batch_size, 2))
+                add = add[add[:, 0] != add[:, 1]]
+                n_remove = args.batch_size // 4
+                rem = rng.integers(0, n, size=(n_remove, 2))
+                rem = rem[rem[:, 0] != rem[:, 1]]
+                out = handle.apply(additions=add, removals=rem)
+                deltas += len(add) + len(rem)
+                changed += int(out.changed.size)
+                if args.verify_every:
+                    handle.verify()
+                print(f"batch {b + 1}/{args.batches}: epoch {out.epoch} "
+                      f"mode={out.mode} recolored={out.changed.size} "
+                      f"colors={out.n_colors} churn={out.churn:.3f}")
+            elapsed = _time.perf_counter() - t0
+            summary = handle.verify()
+            print(f"verified: {summary['n_colors']} colors proper over "
+                  f"{summary['num_edges']} edges")
+            print(f"{deltas} deltas in {elapsed * 1e3:.1f} ms "
+                  f"({deltas / max(elapsed, 1e-9):.0f} deltas/s), "
+                  f"{changed} vertices recolored total")
     return 0
 
 
@@ -389,6 +449,36 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--client-id", default="cli")
     sb.add_argument("--output", help="save the color array (.npy)")
     sb.set_defaults(fn=cmd_submit)
+
+    sd = sub.add_parser(
+        "submit-deltas",
+        help="stream edge-delta batches to a served instance (session lane)",
+    )
+    sd.add_argument("--socket", required=True, help="Unix socket of the server")
+    src = sd.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help="graph file (.npz or SNAP edge list)")
+    src.add_argument("--dataset",
+                     help="registry stand-in key, resolved server-side")
+    sd.add_argument("--raw", action="store_true",
+                    help="skip preprocessing for --input graphs")
+    sd.add_argument(
+        "--algorithm", default="bitwise", choices=list(algorithm_names()),
+    )
+    sd.add_argument("--backend", default=None,
+                    help="pin the full-recolor backend (default: the "
+                         "algorithm's default, for byte-parity)")
+    sd.add_argument("--batches", type=int, default=3,
+                    help="delta batches to stream (default: 3)")
+    sd.add_argument("--batch-size", type=int, default=64,
+                    help="edge insertions per batch; a quarter as many "
+                         "removals ride along (default: 64)")
+    sd.add_argument("--seed", type=int, default=0,
+                    help="RNG seed for the synthetic delta stream")
+    sd.add_argument("--verify-every", action="store_true",
+                    help="assert the coloring is proper after every batch "
+                         "(always verified once at the end)")
+    sd.add_argument("--client-id", default="cli")
+    sd.set_defaults(fn=cmd_submit_deltas)
     return p
 
 

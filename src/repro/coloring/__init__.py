@@ -16,7 +16,12 @@ from .dsatur import dsatur_coloring
 from .greedy import GreedyResult, StageCounters, greedy_coloring, greedy_coloring_fast
 from .gunrock import GunrockResult, default_round_cap, gunrock_coloring
 from .balanced import balance_coloring, balance_ratio, balanced_greedy_coloring
-from .incremental import IncrementalColoring, IncrementalStats
+from .incremental import (
+    BatchDiff,
+    IncrementalColoring,
+    IncrementalOutcome,
+    IncrementalStats,
+)
 from .ordering import ORDERINGS, compare_orderings, ordering
 from .recolor import RecolorResult, iterated_greedy, kempe_chain, kempe_reduce
 from .jones_plassmann import JPResult, JPRound, jones_plassmann_coloring
@@ -64,7 +69,9 @@ __all__ = [
     "balance_coloring",
     "balance_ratio",
     "balanced_greedy_coloring",
+    "BatchDiff",
     "IncrementalColoring",
+    "IncrementalOutcome",
     "IncrementalStats",
     "ORDERINGS",
     "compare_orderings",

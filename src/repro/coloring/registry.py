@@ -107,6 +107,14 @@ def _run_dsatur(graph, **opts):
     )
 
 
+def _run_incremental(graph, **opts):
+    from .incremental import IncrementalColoring
+
+    if opts:
+        raise TypeError(f"algorithm='incremental' does not accept {sorted(opts)}")
+    return IncrementalColoring.from_graph(graph).outcome()
+
+
 ALGORITHMS: Dict[str, AlgorithmSpec] = {}
 
 
@@ -197,5 +205,17 @@ register_algorithm(
         deterministic=False,
         exports=("gunrock_coloring", "GunrockResult", "default_round_cap"),
         description="Gunrock-style capped hash-IS rounds plus greedy tail",
+    )
+)
+register_algorithm(
+    AlgorithmSpec(
+        name="incremental",
+        run=_run_incremental,
+        exports=("IncrementalColoring", "IncrementalStats", "IncrementalOutcome",
+                 "BatchDiff"),
+        description=(
+            "Dynamic-graph maintenance: first-fit greedy seed on a growable "
+            "CSR, then vectorized delta-batch repair (the service session lane)"
+        ),
     )
 )

@@ -14,6 +14,9 @@ The layers, innermost out (each its own module):
   the canonical CSR fingerprint;
 * :mod:`~repro.service.executor` — retries with exponential backoff and
   backend-health-driven degradation;
+* :mod:`~repro.service.sessions` — the dynamic-graph session lane:
+  register once, stream edge-delta batches, receive sparse recolor
+  diffs, with churn-triggered full-recolor fallback;
 * :mod:`~repro.service.service` — :class:`ColoringService`, the running
   engine tying those together;
 * :mod:`~repro.service.protocol` / :mod:`~repro.service.server` /
@@ -37,7 +40,7 @@ Quick start::
 
 from .batcher import batch_key, disjoint_union, run_microbatch
 from .cache import ResultCache
-from .client import Client, connect
+from .client import Client, SessionHandle, connect
 from .executor import BackendHealth, Executor
 from .jobs import (
     Job,
@@ -49,7 +52,11 @@ from .jobs import (
     RetryAfter,
     ServiceClosed,
     ServiceError,
+    SessionError,
+    SessionNotFound,
+    build_request,
 )
+from .sessions import ApplyOutcome, SessionInfo, SessionManager
 from .queue import AdmissionQueue
 from .router import (
     DEGRADATION_LADDER,
@@ -64,6 +71,7 @@ from .service import ColoringService, ServiceConfig
 
 __all__ = [
     "AdmissionQueue",
+    "ApplyOutcome",
     "BackendHealth",
     "Client",
     "ColoringService",
@@ -84,7 +92,13 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceServer",
+    "SessionError",
+    "SessionHandle",
+    "SessionInfo",
+    "SessionManager",
+    "SessionNotFound",
     "batch_key",
+    "build_request",
     "connect",
     "disjoint_union",
     "next_rung",

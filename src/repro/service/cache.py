@@ -104,6 +104,19 @@ class ResultCache:
                 self._entries.popitem(last=False)
         return True
 
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry for one graph; returns how many were evicted.
+
+        The session lane calls this when a registered graph mutates: only
+        results keyed on the *old* structure go stale, everything else in
+        the cache stays warm.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == fingerprint]
+            for k in stale:
+                del self._entries[k]
+        return len(stale)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

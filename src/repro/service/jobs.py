@@ -39,11 +39,21 @@ __all__ = [
     "RetryAfter",
     "ServiceClosed",
     "ServiceError",
+    "SessionError",
+    "SessionNotFound",
+    "build_request",
 ]
 
 
 class ServiceError(RuntimeError):
-    """Base class for every error the coloring service raises."""
+    """Base class for every error the coloring service raises.
+
+    Every subclass carries a stable machine-readable :attr:`code` that
+    the socket protocol ships alongside the message, so remote clients
+    reconstruct the exact typed error instead of string-matching.
+    """
+
+    code = "service_error"
 
 
 class RetryAfter(ServiceError):
@@ -54,6 +64,8 @@ class RetryAfter(ServiceError):
     service answering in bounded time.
     """
 
+    code = "retry_after"
+
     def __init__(self, message: str, retry_after_s: float):
         super().__init__(message)
         self.retry_after_s = float(retry_after_s)
@@ -62,13 +74,31 @@ class RetryAfter(ServiceError):
 class JobTimeout(ServiceError):
     """The job's deadline passed before a result was produced."""
 
+    code = "job_timeout"
+
 
 class JobFailed(ServiceError):
     """The job failed on every attempt (retries and degradation included)."""
 
+    code = "job_failed"
+
 
 class ServiceClosed(ServiceError):
     """Submitted to a service that is draining or already shut down."""
+
+    code = "service_closed"
+
+
+class SessionError(ServiceError):
+    """A session-lane request was invalid (bad delta batch, over quota...)."""
+
+    code = "session_error"
+
+
+class SessionNotFound(SessionError):
+    """The session id is unknown (never registered, or already closed)."""
+
+    code = "session_not_found"
 
 
 class JobState(Enum):
@@ -114,6 +144,41 @@ class JobRequest:
                 f"engine={self.engine!r} requires backend='hw' "
                 f"(got backend={self.backend!r})"
             )
+
+
+def build_request(
+    *,
+    graph: Optional[CSRGraph] = None,
+    dataset: Optional[str] = None,
+    algorithm: str = "bitwise",
+    backend: Optional[str] = None,
+    engine: Optional[str] = None,
+    opts: Optional[Dict[str, Any]] = None,
+    priority: int = 0,
+    client_id: str = "anon",
+    timeout_s: Optional[float] = None,
+) -> JobRequest:
+    """Build and validate a :class:`JobRequest`.
+
+    The one shared constructor behind every request path — in-process
+    submission, the socket client's one-shot ``color``, the server's
+    wire decoding, and the session lane's full-recolor fallback — so the
+    graph/dataset exclusivity and engine/backend rules are enforced (and
+    error messages phrased) in exactly one place.
+    """
+    request = JobRequest(
+        graph=graph,
+        dataset=dataset,
+        algorithm=algorithm,
+        backend=backend,
+        engine=engine,
+        opts=dict(opts or {}),
+        priority=priority,
+        client_id=client_id,
+        timeout_s=timeout_s,
+    )
+    request.validate()
+    return request
 
 
 @dataclass

@@ -16,11 +16,20 @@ Request shapes (``op`` selects):
 ``"graph"``.  ``{"op": "status"}`` — the ``/healthz`` snapshot.
 ``{"op": "ping"}`` — liveness.
 
+Session lane (dynamic graphs; see :mod:`repro.service.sessions`):
+``{"op": "session.register", ...color envelope...}`` opens a session
+and returns the initial coloring; ``{"op": "session.apply",
+"session_id": ..., "additions_i64": ..., "removals_i64": ...,
+"add_vertices": ...}`` ships one delta batch and returns the **sparse
+diff** (changed vertex IDs + new colors only); ``session.verify``,
+``session.colors``, ``session.describe`` and ``session.close`` complete
+the lifecycle.
+
 Responses are ``{"ok": true, ...payload...}`` or ``{"ok": false,
-"error": {"type": ..., "message": ..., "retry_after_s": ...}}``; the
-client rehydrates the error type into the matching
-:class:`~repro.service.jobs.ServiceError` subclass so socket callers
-and in-process callers see identical exceptions.
+"error": {"code": ..., "type": ..., "message": ...,
+"retry_after_s": ...}}``; the client rehydrates the stable ``code``
+into the matching :class:`~repro.service.jobs.ServiceError` subclass so
+socket callers and in-process callers see identical typed exceptions.
 """
 
 from __future__ import annotations
@@ -36,23 +45,35 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from .jobs import (
     JobFailed,
+    JobRequest,
     JobResult,
     JobTimeout,
     RetryAfter,
     ServiceClosed,
     ServiceError,
+    SessionError,
+    SessionNotFound,
+    build_request,
 )
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "apply_outcome_from_wire",
+    "apply_outcome_to_wire",
     "decode_colors",
+    "decode_edge_pairs",
     "decode_graph",
     "encode_colors",
+    "encode_edge_pairs",
     "encode_graph",
     "error_to_wire",
     "read_frame",
+    "request_from_wire",
+    "request_to_wire",
     "result_from_wire",
     "result_to_wire",
+    "session_info_from_wire",
+    "session_info_to_wire",
     "wire_to_error",
     "write_frame",
 ]
@@ -179,14 +200,21 @@ _ERROR_TYPES = {
     "JobFailed": JobFailed,
     "ServiceClosed": ServiceClosed,
     "ServiceError": ServiceError,
+    "SessionError": SessionError,
+    "SessionNotFound": SessionNotFound,
 }
+
+_ERROR_CODES = {cls.code: cls for cls in _ERROR_TYPES.values()}
+"""Stable machine-readable ``code`` → exception class.  The code is the
+protocol's primary key for error identity; the type name rides along for
+humans and for frames from servers predating codes."""
 
 
 def error_to_wire(exc: BaseException) -> Dict[str, Any]:
+    kind = type(exc) if type(exc).__name__ in _ERROR_TYPES else ServiceError
     wire: Dict[str, Any] = {
-        "type": type(exc).__name__
-        if type(exc).__name__ in _ERROR_TYPES
-        else "ServiceError",
+        "code": getattr(exc, "code", None) or kind.code,
+        "type": kind.__name__,
         "message": str(exc),
     }
     if isinstance(exc, RetryAfter):
@@ -195,8 +223,136 @@ def error_to_wire(exc: BaseException) -> Dict[str, Any]:
 
 
 def wire_to_error(wire: Dict[str, Any]) -> ServiceError:
-    kind = _ERROR_TYPES.get(wire.get("type", ""), ServiceError)
+    kind = _ERROR_CODES.get(wire.get("code", ""))
+    if kind is None:  # pre-code servers: fall back to the type name
+        kind = _ERROR_TYPES.get(wire.get("type", ""), ServiceError)
     message = wire.get("message", "service error")
     if kind is RetryAfter:
         return RetryAfter(message, float(wire.get("retry_after_s", 0.05)))
     return kind(message)
+
+
+# ----------------------------------------------------------------------
+# Requests (the shared builder behind client and server)
+# ----------------------------------------------------------------------
+def request_to_wire(request: JobRequest) -> Dict[str, Any]:
+    """The ``op="color"`` message body for one validated request."""
+    message: Dict[str, Any] = {
+        "op": "color",
+        "algorithm": request.algorithm,
+        "backend": request.backend,
+        "engine": request.engine,
+        "opts": dict(request.opts),
+        "priority": request.priority,
+        "client_id": request.client_id,
+        "timeout_s": request.timeout_s,
+    }
+    if request.graph is not None:
+        message["graph"] = encode_graph(request.graph)
+    if request.dataset is not None:
+        message["dataset"] = request.dataset
+    return message
+
+
+def request_from_wire(message: Dict[str, Any]) -> JobRequest:
+    """Decode and re-validate an ``op="color"`` message server-side."""
+    graph = None
+    if message.get("graph") is not None:
+        graph = decode_graph(message["graph"])
+    return build_request(
+        graph=graph,
+        dataset=message.get("dataset"),
+        algorithm=message.get("algorithm", "bitwise"),
+        backend=message.get("backend"),
+        engine=message.get("engine"),
+        opts=dict(message.get("opts") or {}),
+        priority=int(message.get("priority", 0)),
+        client_id=str(message.get("client_id", "socket")),
+        timeout_s=message.get("timeout_s"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Session lane
+# ----------------------------------------------------------------------
+def session_info_to_wire(info) -> Dict[str, Any]:
+    return {
+        "session_id": info.session_id,
+        "fingerprint": info.fingerprint,
+        "colors_i64": encode_colors(info.colors),
+        "n_colors": int(info.n_colors),
+        "algorithm": info.algorithm,
+        "backend": info.backend,
+        "num_vertices": int(info.num_vertices),
+        "num_edges": int(info.num_edges),
+        "graph_reused": bool(info.graph_reused),
+    }
+
+
+def session_info_from_wire(payload: Dict[str, Any]):
+    from .sessions import SessionInfo
+
+    return SessionInfo(
+        session_id=payload["session_id"],
+        fingerprint=payload["fingerprint"],
+        colors=decode_colors(payload["colors_i64"]),
+        n_colors=int(payload["n_colors"]),
+        algorithm=payload["algorithm"],
+        backend=payload.get("backend"),
+        num_vertices=int(payload["num_vertices"]),
+        num_edges=int(payload["num_edges"]),
+        graph_reused=bool(payload.get("graph_reused", False)),
+    )
+
+
+def encode_edge_pairs(pairs) -> str:
+    """Edge list → one flattened base64 ``int64`` buffer."""
+    arr = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray) else pairs,
+                     dtype=np.int64)
+    if arr.size and (arr.ndim != 2 or arr.shape[1] != 2):
+        raise ServiceError("edge batch must contain (u, v) pairs")
+    return _encode_i64(arr.reshape(-1))
+
+
+def decode_edge_pairs(text: str) -> np.ndarray:
+    flat = _decode_i64(text)
+    if flat.size % 2:
+        raise ServiceError("edge buffer has an odd number of endpoints")
+    return flat.reshape(-1, 2)
+
+
+def apply_outcome_to_wire(outcome) -> Dict[str, Any]:
+    """Sparse diff of one delta batch — only recolored vertices ride."""
+    return {
+        "epoch": int(outcome.epoch),
+        "mode": outcome.mode,
+        "changed_i64": _encode_i64(outcome.changed),
+        "colors_i64": _encode_i64(outcome.colors),
+        "n_colors": int(outcome.n_colors),
+        "num_vertices": int(outcome.num_vertices),
+        "edges_added": int(outcome.edges_added),
+        "edges_removed": int(outcome.edges_removed),
+        "conflicts": int(outcome.conflicts),
+        "repair_rounds": int(outcome.repair_rounds),
+        "churn": float(outcome.churn),
+        "cache_invalidated": int(outcome.cache_invalidated),
+    }
+
+
+def apply_outcome_from_wire(payload: Dict[str, Any]):
+    from .sessions import ApplyOutcome
+
+    return ApplyOutcome(
+        epoch=int(payload["epoch"]),
+        mode=payload["mode"],
+        changed=_decode_i64(payload["changed_i64"]),
+        colors=_decode_i64(payload["colors_i64"]),
+        n_colors=int(payload["n_colors"]),
+        num_vertices=int(payload["num_vertices"]),
+        edges_added=int(payload.get("edges_added", 0)),
+        edges_removed=int(payload.get("edges_removed", 0)),
+        conflicts=int(payload.get("conflicts", 0)),
+        repair_rounds=int(payload.get("repair_rounds", 0)),
+        churn=float(payload.get("churn", 0.0)),
+        cache_invalidated=int(payload.get("cache_invalidated", 0)),
+    )

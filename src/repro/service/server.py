@@ -30,12 +30,16 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-from .jobs import JobRequest, ServiceError
+from .jobs import ServiceError
 from .protocol import (
     MAX_FRAME_BYTES,
-    decode_graph,
+    apply_outcome_to_wire,
+    decode_edge_pairs,
+    encode_colors,
     error_to_wire,
+    request_from_wire,
     result_to_wire,
+    session_info_to_wire,
 )
 from .service import ColoringService, ServiceConfig
 
@@ -178,33 +182,92 @@ class ServiceServer:
                 return {"ok": True, "status": self.service.status()}
             if op == "color":
                 return await self._handle_color(message)
+            if op == "session.register":
+                return await self._handle_session_register(message)
+            if op == "session.apply":
+                return await self._handle_session_apply(message)
+            if op == "session.verify":
+                session_id = str(message.get("session_id", ""))
+                summary = await self._offload(
+                    self.service.sessions.verify, session_id
+                )
+                return {"ok": True, "verify": summary}
+            if op == "session.colors":
+                session_id = str(message.get("session_id", ""))
+                colors = await self._offload(
+                    self.service.sessions.colors, session_id
+                )
+                return {"ok": True, "colors_i64": encode_colors(colors)}
+            if op == "session.describe":
+                session_id = str(message.get("session_id", ""))
+                info = await self._offload(
+                    self.service.sessions.describe, session_id
+                )
+                return {"ok": True, "session": info}
+            if op == "session.close":
+                session_id = str(message.get("session_id", ""))
+                await self._offload(self.service.sessions.close, session_id)
+                return {"ok": True, "closed": session_id}
             raise ServiceError(f"unknown op {op!r}")
         except BaseException as exc:  # every failure becomes a frame
             return {"ok": False, "error": error_to_wire(exc)}
 
-    async def _handle_color(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        graph = None
-        if message.get("graph") is not None:
-            graph = decode_graph(message["graph"])
-        request = JobRequest(
-            graph=graph,
-            dataset=message.get("dataset"),
-            algorithm=message.get("algorithm", "bitwise"),
-            backend=message.get("backend"),
-            engine=message.get("engine"),
-            opts=dict(message.get("opts") or {}),
-            priority=int(message.get("priority", 0)),
-            client_id=str(message.get("client_id", "socket")),
-            timeout_s=message.get("timeout_s"),
+    async def _offload(self, fn, *args):
+        """Run blocking service work on the loop's default thread pool —
+        never on the loop itself, which only frames bytes."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, fn, *args
         )
-        loop = asyncio.get_running_loop()
+
+    async def _handle_color(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        request = request_from_wire(message)
 
         def submit_and_wait():
             job = self.service.submit(request)  # RetryAfter propagates
             return job.result_or_raise()
 
-        result = await loop.run_in_executor(None, submit_and_wait)
+        result = await self._offload(submit_and_wait)
         return {"ok": True, "result": result_to_wire(result)}
+
+    async def _handle_session_register(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        # Reuse the color-envelope decoding (graph/dataset, algorithm,
+        # backend, opts) — register's knobs are a superset of color's.
+        request = request_from_wire(message)
+
+        def do_register():
+            return self.service.sessions.register(
+                request.graph,
+                dataset=request.dataset,
+                algorithm=request.algorithm,
+                backend=request.backend,
+                client_id=request.client_id,
+                timeout_s=request.timeout_s,
+                **request.opts,
+            )
+
+        info = await self._offload(do_register)
+        return {"ok": True, "session": session_info_to_wire(info)}
+
+    async def _handle_session_apply(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        session_id = str(message.get("session_id", ""))
+        additions = decode_edge_pairs(message.get("additions_i64", ""))
+        removals = decode_edge_pairs(message.get("removals_i64", ""))
+        add_vertices = int(message.get("add_vertices", 0))
+
+        def do_apply():
+            return self.service.sessions.apply(
+                session_id,
+                additions=additions,
+                removals=removals,
+                add_vertices=add_vertices,
+            )
+
+        outcome = await self._offload(do_apply)
+        return {"ok": True, "apply": apply_outcome_to_wire(outcome)}
 
 
 def serve(

@@ -51,6 +51,7 @@ from .jobs import (
 )
 from .queue import AdmissionQueue
 from .router import RouteDecision, Router
+from .sessions import SessionManager
 
 __all__ = ["ColoringService", "ServiceConfig"]
 
@@ -89,6 +90,11 @@ class ServiceConfig:
     skew_threshold: float = 8.0
     # caching
     cache_capacity: int = 128
+    # sessions (the dynamic-graph lane)
+    session_churn_threshold: float = 0.25
+    """Fraction of vertices recolored (since the last full snapshot)
+    past which a session's next mutating batch triggers a full recolor."""
+    max_sessions: int = 64
     # observability
     registry: Optional[Registry] = None
     """Collect into this registry (default: a fresh enabled one)."""
@@ -129,6 +135,11 @@ class ColoringService:
             backoff_cap_s=cfg.backoff_cap_s,
             failure_threshold=cfg.failure_threshold,
             fault_hook=cfg.fault_hook,
+        )
+        self.sessions = SessionManager(
+            self,
+            churn_threshold=cfg.session_churn_threshold,
+            max_sessions=cfg.max_sessions,
         )
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, cfg.executors),
@@ -244,6 +255,7 @@ class ColoringService:
                 "batched_jobs": counters.get("service.batch.jobs", 0),
             },
             "cache": self.cache.stats(),
+            "sessions": self.sessions.stats(),
             "backends": {
                 "failures": self.executor.health.snapshot(),
                 "failure_threshold": self.executor.health.failure_threshold,
@@ -275,6 +287,7 @@ class ColoringService:
         self._draining = True
         if drain:
             self.drain(timeout)
+        self.sessions.close_all()
         self._stop.set()
         self.queue.close()
         self._dispatcher.join(timeout=5)

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.coloring import IncrementalColoring, assert_proper_coloring
+import repro
+from repro.coloring import (
+    IncrementalColoring,
+    IncrementalOutcome,
+    assert_proper_coloring,
+)
+from repro.coloring.verify import UNCOLORED
 from repro.graph import erdos_renyi, rmat
 
 
@@ -11,7 +17,7 @@ class TestBasicOperations:
     def test_initial_state(self):
         inc = IncrementalColoring(3)
         assert inc.num_vertices == 3
-        assert inc.num_colors() == 1  # everyone color 1, no edges
+        assert inc.n_colors == 1  # everyone color 1, no edges
         inc.validate()
 
     def test_add_edge_no_conflict(self):
@@ -135,7 +141,7 @@ class TestEdgePaths:
             for v in range(u + 1, 4):
                 inc.add_edge(u, v)
                 inc.validate()
-        assert inc.num_colors() == 4
+        assert inc.n_colors == 4
         assert inc.stats.conflicts_repaired >= 3
 
     def test_clash_repair_picks_first_free_color(self):
@@ -192,7 +198,7 @@ class TestEdgePaths:
     def test_empty_instance_operations(self):
         inc = IncrementalColoring(0)
         assert inc.num_vertices == 0
-        assert inc.num_colors() == 0
+        assert inc.n_colors == 0
         assert inc.compact().tolist() == []
         inc.validate()
         v = inc.add_vertex()
@@ -230,3 +236,143 @@ class TestEdgePaths:
         assert inc.stats.conflicts_repaired == 1
         assert inc.stats.vertices_recolored == 1
         assert inc.stats.recolor_work >= 1
+
+
+class TestApplyBatch:
+    """The vectorized delta-batch hot path and its sparse diff."""
+
+    def test_batch_matches_scalar_replay(self):
+        g = erdos_renyi(60, 0.1, seed=7)
+        pairs = g.edge_array()
+        pairs = pairs[pairs[:, 0] < pairs[:, 1]]
+        batched = IncrementalColoring(g.num_vertices)
+        diff = batched.apply_batch(additions=pairs)
+        batched.validate()
+        assert diff.edges_added == pairs.shape[0]
+        assert batched.to_graph().fingerprint() == g.fingerprint()
+
+    def test_diff_lists_only_changed_vertices(self):
+        inc = IncrementalColoring(4)
+        diff = inc.apply_batch(additions=[(0, 1), (2, 3)])
+        # Each pair collides (all start color 1): exactly one endpoint
+        # per pair recolors, and the diff says which with old + new.
+        assert diff.conflicts == 2
+        assert diff.changed.size == 2
+        assert np.array_equal(diff.old_colors, [1, 1])
+        assert np.array_equal(diff.colors, inc.colors()[diff.changed])
+        # A second no-op batch produces an empty diff.
+        empty = inc.apply_batch(additions=[(0, 1)])
+        assert empty.changed.size == 0 and empty.edges_added == 0
+
+    def test_batch_dedups_and_skips_existing(self):
+        inc = IncrementalColoring(3)
+        inc.add_edge(0, 1)
+        diff = inc.apply_batch(
+            additions=[(0, 1), (1, 0), (1, 2), (2, 1), (1, 2)]
+        )
+        assert diff.edges_added == 1  # only (1, 2) was actually new
+        assert inc.to_graph().num_undirected_edges == 2
+        inc.validate()
+
+    def test_batch_removals_then_additions_order(self):
+        inc = IncrementalColoring(3)
+        inc.add_edge(0, 1)
+        # Same batch removes (0,1) and re-adds it: removal runs first, so
+        # the addition really inserts and the edge survives.
+        diff = inc.apply_batch(additions=[(0, 1)], removals=[(0, 1)])
+        assert diff.edges_removed == 1 and diff.edges_added == 1
+        assert inc.to_graph().num_undirected_edges == 1
+        inc.validate()
+
+    def test_batch_add_vertices_grows_then_connects(self):
+        inc = IncrementalColoring(2)
+        diff = inc.apply_batch(
+            additions=[(0, 2), (1, 3)], add_vertices=2
+        )
+        assert inc.num_vertices == 4
+        assert diff.edges_added == 2
+        inc.validate()
+
+    def test_large_random_batches_stay_proper(self):
+        rng = np.random.default_rng(3)
+        g = rmat(9, 6, seed=3)
+        inc = IncrementalColoring.from_graph(g)
+        for _ in range(8):
+            adds = rng.integers(0, g.num_vertices, size=(120, 2))
+            adds = adds[adds[:, 0] != adds[:, 1]]
+            rem_pairs = inc.to_graph().edge_array()
+            rems = rem_pairs[rng.integers(0, rem_pairs.shape[0], size=30)]
+            inc.apply_batch(adds, rems)
+            inc.validate()
+
+    def test_batch_rejects_bad_shapes(self):
+        inc = IncrementalColoring(4)
+        with pytest.raises(ValueError, match="pairs"):
+            inc.apply_batch(additions=np.arange(6))
+        with pytest.raises(ValueError, match="self loops"):
+            inc.apply_batch(additions=[(2, 2)])
+        with pytest.raises(IndexError, match="out of range"):
+            inc.apply_batch(additions=[(0, 9)])
+
+
+class TestOutcomeAndRegistry:
+    """The ColoringOutcome conformance + registry satellite."""
+
+    def test_outcome_conforms(self):
+        from repro.coloring.outcome import ColoringOutcome
+
+        inc = IncrementalColoring(3)
+        inc.add_edge(0, 1)
+        out = inc.outcome()
+        assert isinstance(out, IncrementalOutcome)
+        assert isinstance(out, ColoringOutcome)
+        assert out.n_colors == inc.n_colors
+        assert np.array_equal(out.colors, inc.colors())
+        d = out.as_dict()
+        assert d["algorithm"] == "incremental"
+
+    def test_registered_with_facade(self, small_random):
+        out = repro.color(small_random, algorithm="incremental")
+        assert_proper_coloring(small_random, out.colors)
+        assert out.n_colors >= 1
+
+    def test_facade_rejects_opts(self, small_random):
+        with pytest.raises(TypeError):
+            repro.color(small_random, algorithm="incremental", order="asc")
+
+    def test_num_colors_method_deprecated_but_working(self):
+        inc = IncrementalColoring(2)
+        inc.add_edge(0, 1)
+        with pytest.warns(DeprecationWarning, match="n_colors"):
+            legacy = inc.num_colors()
+        assert legacy == inc.n_colors == 2
+
+
+class TestCompactUncolored:
+    """Regression: compact() must not conflate UNCOLORED with color 0."""
+
+    def test_compact_preserves_uncolored(self):
+        inc = IncrementalColoring(5)
+        inc.add_edge(0, 1)
+        inc.add_edge(1, 2)
+        inc._colors[3] = UNCOLORED  # a partially-colored stream
+        inc._colors[4] = UNCOLORED
+        compacted = inc.compact()
+        assert compacted[3] == UNCOLORED
+        assert compacted[4] == UNCOLORED
+        colored = compacted[compacted != UNCOLORED]
+        assert sorted(set(colored.tolist())) == list(
+            range(1, len(set(colored.tolist())) + 1)
+        )
+
+    def test_n_colors_ignores_uncolored(self):
+        inc = IncrementalColoring(3)
+        inc._colors[:] = UNCOLORED
+        assert inc.n_colors == 0
+        inc._colors[0] = 5
+        assert inc.n_colors == 1
+
+    def test_all_uncolored_compact_is_noop(self):
+        inc = IncrementalColoring(3)
+        inc._colors[:] = UNCOLORED
+        assert inc.compact().tolist() == [UNCOLORED] * 3

@@ -50,7 +50,9 @@ PUBLIC_API_SNAPSHOT = {
     "balance_coloring",
     "balance_ratio",
     "balanced_greedy_coloring",
+    "BatchDiff",
     "IncrementalColoring",
+    "IncrementalOutcome",
     "IncrementalStats",
     "ORDERINGS",
     "compare_orderings",
@@ -107,6 +109,7 @@ def test_registered_names_snapshot():
         "jp",
         "luby",
         "gunrock",
+        "incremental",
     )
 
 

@@ -25,7 +25,13 @@ from repro.service.protocol import (
     wire_to_error,
     write_frame,
 )
-from repro.service.jobs import JobFailed, JobTimeout, ServiceClosed
+from repro.service.jobs import (
+    JobFailed,
+    JobTimeout,
+    ServiceClosed,
+    SessionError,
+    SessionNotFound,
+)
 from repro.service.server import ServiceServer
 
 
@@ -89,6 +95,8 @@ class TestCodec:
             JobFailed("all attempts spent"),
             ServiceClosed("shutting down"),
             ServiceError("generic"),
+            SessionError("bad delta batch"),
+            SessionNotFound("unknown session 's9'"),
         ],
     )
     def test_error_roundtrip(self, exc):
@@ -102,6 +110,31 @@ class TestCodec:
         back = wire_to_error(error_to_wire(ValueError("surprise")))
         assert type(back) is ServiceError
         assert "surprise" in str(back)
+
+    def test_error_wire_format_carries_stable_code(self):
+        # The code field is the contract non-Python clients key on.
+        assert error_to_wire(RetryAfter("shed", 0.1))["code"] == "retry_after"
+        assert error_to_wire(JobTimeout("t"))["code"] == "job_timeout"
+        assert error_to_wire(JobFailed("f"))["code"] == "job_failed"
+        assert error_to_wire(ServiceClosed("c"))["code"] == "service_closed"
+        assert error_to_wire(SessionError("s"))["code"] == "session_error"
+        assert (
+            error_to_wire(SessionNotFound("n"))["code"] == "session_not_found"
+        )
+        assert error_to_wire(ServiceError("g"))["code"] == "service_error"
+
+    def test_error_decode_prefers_code_over_type_name(self):
+        # A server whose class names were refactored still interoperates:
+        # reconstruction keys on the stable code, not the type string.
+        back = wire_to_error(
+            {"code": "session_not_found", "type": "RenamedCls", "message": "x"}
+        )
+        assert type(back) is SessionNotFound
+
+    def test_error_decode_falls_back_to_type_name(self):
+        # Frames from a pre-code server (no "code" field) still decode.
+        back = wire_to_error({"type": "JobTimeout", "message": "slow"})
+        assert type(back) is JobTimeout
 
     def test_frames_over_plain_sockets(self):
         a, b = socket.socketpair()
@@ -207,7 +240,7 @@ class TestSocketServer:
             try:
                 g = erdos_renyi(100 + idx, 0.05, seed=idx)
                 with connect(path, client_id=f"w{idx}") as client:
-                    result = client.color_retrying(g)
+                    result = client.color(g, retries=32)
                 if not np.array_equal(result.colors, repro.color(g).colors):
                     errors.append(f"worker {idx}: colors differ")
             except Exception as exc:  # pragma: no cover - failure detail
@@ -254,3 +287,54 @@ class TestClientValidation:
             Client()
         with pytest.raises(ValueError, match="exactly one"):
             Client(svc, socket_path=tmp_path / "x.sock")
+
+
+class TestSocketSessions:
+    """The session lane end-to-end over a real Unix socket."""
+
+    def test_register_apply_verify_close_round_trip(self, served):
+        path, svc = served
+        g = erdos_renyi(90, 0.08, seed=21)
+        direct = repro.color(g, algorithm="bitwise")
+        with connect(path) as client:
+            with client.register(g, algorithm="bitwise") as session:
+                # Registration parity crossed the wire intact.
+                assert np.array_equal(session.colors, direct.colors)
+                rng = np.random.default_rng(4)
+                for _ in range(3):
+                    adds = rng.integers(0, g.num_vertices, size=(25, 2))
+                    adds = adds[adds[:, 0] != adds[:, 1]]
+                    rems = adds[:5][:, ::-1]
+                    out = session.apply(adds, rems)
+                    assert out.epoch >= 1
+                    # The folded mirror equals a dense server resync.
+                    assert np.array_equal(session.colors, session.resync())
+                assert session.verify()["valid"]
+                assert session.describe()["epoch"] == 3
+        # The context exit closed the session server-side.
+        assert svc.sessions.stats()["active"] == 0
+
+    def test_session_not_found_is_typed_over_wire(self, served):
+        path, _svc = served
+        g = erdos_renyi(40, 0.1, seed=22)
+        with connect(path) as client:
+            session = client.register(g)
+            session.close()
+            with pytest.raises(SessionNotFound, match="unknown session"):
+                session.apply([(0, 1)])
+
+    def test_bad_batch_is_typed_over_wire(self, served):
+        path, _svc = served
+        g = erdos_renyi(40, 0.1, seed=23)
+        with connect(path) as client:
+            with client.register(g) as session:
+                with pytest.raises(SessionError, match="bad delta batch"):
+                    session.apply([(1, 1)])
+
+    def test_status_reports_sessions(self, served):
+        path, _svc = served
+        g = erdos_renyi(40, 0.1, seed=24)
+        with connect(path) as client:
+            with client.register(g):
+                status = client.status()
+                assert status["sessions"]["active"] == 1

@@ -310,3 +310,70 @@ class TestValidation:
             job.result_or_raise(timeout=30)
         # The high-priority job must not have waited behind the low one.
         assert high.started_at <= low.started_at
+
+
+class TestClientRetries:
+    """`color(retries=)` and the deprecated `color_retrying` shim."""
+
+    def test_retries_absorb_sheds(self, service_factory):
+        release = threading.Event()
+
+        def block(request, attempt):
+            release.wait(timeout=30)
+
+        svc = service_factory(
+            executors=1, max_queue_depth=1, batching=False, fault_hook=block
+        )
+        client = Client(svc)
+        g = erdos_renyi(40, 0.1, seed=3)
+        # Saturate: one job in execution (blocked), one in the queue —
+        # submissions race the dispatcher, so push until one sheds.
+        jobs = [svc.submit(JobRequest(graph=g))]
+        deadline = time.monotonic() + 10
+        saturated = False
+        while time.monotonic() < deadline and not saturated:
+            try:
+                jobs.append(svc.submit(JobRequest(graph=g)))
+            except RetryAfter:
+                saturated = True
+        assert saturated, "queue never saturated"
+        # color(retries=) must wait the sheds out once the plug lifts.
+        threading.Timer(0.3, release.set).start()
+        result = client.color(g, retries=64)
+        assert np.array_equal(result.colors, repro.color(g).colors)
+        for job in jobs:
+            job.result_or_raise(timeout=30)
+
+    def test_zero_retries_raises_immediately(self, service_factory):
+        release = threading.Event()
+
+        def block(request, attempt):
+            release.wait(timeout=30)
+
+        svc = service_factory(
+            executors=1, max_queue_depth=1, batching=False, fault_hook=block
+        )
+        client = Client(svc)
+        g = erdos_renyi(40, 0.1, seed=4)
+        jobs = [svc.submit(JobRequest(graph=g))]
+        deadline = time.monotonic() + 10
+        shed = False
+        while time.monotonic() < deadline and not shed:
+            try:
+                jobs.append(svc.submit(JobRequest(graph=g)))
+            except RetryAfter:
+                shed = True
+        assert shed, "queue never saturated"
+        with pytest.raises(RetryAfter):
+            client.color(g)  # retries=0: the shed propagates
+        release.set()
+        for job in jobs:
+            job.result_or_raise(timeout=30)
+
+    def test_color_retrying_warns_and_forwards(self, service_factory):
+        svc = service_factory(executors=1)
+        client = Client(svc)
+        g = erdos_renyi(40, 0.1, seed=5)
+        with pytest.warns(DeprecationWarning, match="retries"):
+            result = client.color_retrying(g, max_sheds=4)
+        assert np.array_equal(result.colors, repro.color(g).colors)

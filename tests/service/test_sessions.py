@@ -1,0 +1,255 @@
+"""Session lane: registration, delta batches, churn fallback, dedup.
+
+The lane's two contracts, tested here:
+
+* **Sparse-diff coherence** — a client folding every `ApplyOutcome` diff
+  into a local mirror always holds exactly the server's coloring;
+* **Byte parity** — at registration and after every churn-triggered full
+  recolor, the session's colors are byte-identical to a direct
+  ``repro.color`` call on the equivalent snapshot graph.
+
+The hypothesis test drives random interleavings of edge insertions,
+expirations and vertex growth through a live session with a low churn
+threshold (so fallback recolors actually happen) and asserts both
+contracts plus server-side validity at every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.coloring import assert_proper_coloring
+from repro.graph import CSRGraph, erdos_renyi
+from repro.obs import Registry
+from repro.service import (
+    Client,
+    ColoringService,
+    ServiceConfig,
+    SessionError,
+    SessionNotFound,
+)
+
+
+@pytest.fixture
+def svc(service_factory):
+    return service_factory(executors=2)
+
+
+def _graph(seed=3, n=120, p=0.06):
+    return erdos_renyi(n, p, seed=seed, name=f"sess-{seed}")
+
+
+class TestRegister:
+    def test_parity_with_direct_color(self, svc):
+        g = _graph()
+        info = svc.sessions.register(g, algorithm="bitwise")
+        direct = repro.color(g, algorithm="bitwise")
+        assert np.array_equal(info.colors, direct.colors)
+        assert info.n_colors == direct.n_colors
+        assert info.num_vertices == g.num_vertices
+        assert info.fingerprint == g.fingerprint()
+
+    def test_content_addressed_dedup(self, svc):
+        g = _graph(seed=5)
+        # The same structure built twice is stored once server-side.
+        twin = CSRGraph.from_arrays(
+            g.num_vertices, *g.edge_array().T, symmetrize=False,
+            dedup=False, name="twin",
+        )
+        a = svc.sessions.register(g)
+        b = svc.sessions.register(twin)
+        assert not a.graph_reused
+        assert b.graph_reused
+        assert a.fingerprint == b.fingerprint
+        assert svc.sessions.stats()["registered_graphs"] == 1
+        svc.sessions.close(a.session_id)
+        assert svc.sessions.stats()["registered_graphs"] == 1  # refcounted
+        svc.sessions.close(b.session_id)
+        assert svc.sessions.stats()["registered_graphs"] == 0
+
+    def test_session_cap(self, service_factory):
+        svc = service_factory(executors=1, max_sessions=2)
+        g = _graph(seed=6, n=40)
+        svc.sessions.register(g)
+        svc.sessions.register(g)
+        with pytest.raises(SessionError, match="session limit"):
+            svc.sessions.register(g)
+
+    def test_unknown_session_everywhere(self, svc):
+        for fn in (svc.sessions.verify, svc.sessions.colors,
+                   svc.sessions.describe, svc.sessions.close):
+            with pytest.raises(SessionNotFound, match="nope"):
+                fn("nope")
+        with pytest.raises(SessionNotFound):
+            svc.sessions.apply("nope", [(0, 1)])
+
+
+class TestApply:
+    def test_sparse_diff_folds_to_server_colors(self, svc):
+        g = _graph(seed=7)
+        info = svc.sessions.register(g)
+        mirror = info.colors.copy()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            adds = rng.integers(0, g.num_vertices, size=(40, 2))
+            adds = adds[adds[:, 0] != adds[:, 1]]
+            out = svc.sessions.apply(info.session_id, adds)
+            mirror[out.changed] = out.colors
+            assert np.array_equal(mirror, svc.sessions.colors(info.session_id))
+        assert svc.sessions.verify(info.session_id)["valid"]
+
+    def test_bad_batch_is_session_error(self, svc):
+        info = svc.sessions.register(_graph(seed=8, n=30))
+        with pytest.raises(SessionError, match="bad delta batch"):
+            svc.sessions.apply(info.session_id, [(2, 2)])  # self loop
+        with pytest.raises(SessionError, match="bad delta batch"):
+            svc.sessions.apply(info.session_id, [(0, 999)])  # out of range
+        # The failed batches left the session consistent.
+        assert svc.sessions.verify(info.session_id)["valid"]
+
+    def test_churn_fallback_full_recolor_parity(self, service_factory):
+        svc = service_factory(executors=2, session_churn_threshold=0.01)
+        g = _graph(seed=9)
+        info = svc.sessions.register(g, algorithm="bitwise")
+        mirror = info.colors.copy()
+        rng = np.random.default_rng(1)
+        modes = []
+        for _ in range(4):
+            adds = rng.integers(0, g.num_vertices, size=(60, 2))
+            adds = adds[adds[:, 0] != adds[:, 1]]
+            out = svc.sessions.apply(info.session_id, adds)
+            modes.append(out.mode)
+            mirror[out.changed] = out.colors
+            server = svc.sessions.colors(info.session_id)
+            assert np.array_equal(mirror, server)
+            if out.mode == "full":
+                # Byte parity with a one-shot color of the snapshot.
+                snap = svc.sessions._sessions[info.session_id].inc.to_graph()
+                assert np.array_equal(
+                    server, repro.color(snap, algorithm="bitwise").colors
+                )
+        assert "full" in modes  # the threshold really tripped
+
+    def test_cache_invalidation_is_scoped(self, service_factory):
+        svc = service_factory(executors=1, cache_capacity=16)
+        g = _graph(seed=10)
+        other = _graph(seed=11)
+        client = Client(svc)
+        client.color(g)      # cache entry for g's fingerprint
+        client.color(other)  # ... and an unrelated one
+        info = svc.sessions.register(g)
+        out = svc.sessions.apply(info.session_id, [(0, 1), (2, 3)])
+        assert out.cache_invalidated >= 1
+        # Only the mutated structure's entries were evicted.
+        assert len(svc.cache) >= 1
+        # A later batch does not re-invalidate (already dirty).
+        out2 = svc.sessions.apply(info.session_id, [(4, 5)])
+        assert out2.cache_invalidated == 0
+
+    def test_grow_vertices_color_one(self, svc):
+        info = svc.sessions.register(_graph(seed=12, n=30))
+        out = svc.sessions.apply(info.session_id, add_vertices=3)
+        assert out.num_vertices == 33
+        assert np.array_equal(
+            svc.sessions.colors(info.session_id)[30:], [1, 1, 1]
+        )
+
+
+class TestSessionHandle:
+    def test_client_mirror_and_context_manager(self, svc):
+        g = _graph(seed=13)
+        client = Client(svc)
+        with client.register(g) as session:
+            rng = np.random.default_rng(2)
+            for _ in range(3):
+                adds = rng.integers(0, g.num_vertices, size=(30, 2))
+                adds = adds[adds[:, 0] != adds[:, 1]]
+                session.apply(adds, add_vertices=1)
+                assert np.array_equal(session.colors, session.resync())
+            session.verify()
+            sid = session.info.session_id
+        with pytest.raises(SessionNotFound):
+            svc.sessions.describe(sid)  # context exit closed it
+
+    def test_close_idempotent(self, svc):
+        session = Client(svc).register(_graph(seed=14, n=30))
+        session.close()
+        session.close()  # second close is a no-op, not an error
+
+
+# ----------------------------------------------------------------------
+# Property: random interleavings keep every contract intact.
+# ----------------------------------------------------------------------
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 11), st.integers(0, 11)),
+        st.tuples(st.just("remove"), st.integers(0, 11), st.integers(0, 11)),
+        st.tuples(st.just("grow"), st.integers(1, 2), st.just(0)),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=_ops, seed=st.integers(0, 7))
+def test_session_interleavings_stay_coherent(ops, seed):
+    base = erdos_renyi(12, 0.25, seed=seed, name="prop")
+    svc = ColoringService(
+        ServiceConfig(
+            executors=1,
+            cache_capacity=0,
+            session_churn_threshold=0.05,  # low: force fallback recolors
+            registry=Registry(enabled=False),
+        )
+    )
+    try:
+        info = svc.sessions.register(base, algorithm="bitwise")
+        mirror = info.colors.copy()
+        edges = {tuple(sorted(p)) for p in base.edge_array().tolist()}
+        n = base.num_vertices
+        for op, a, b in ops:
+            adds, rems, grow = [], [], 0
+            if op == "add" and a != b and a < n and b < n:
+                adds = [(a, b)]
+                edges.add((min(a, b), max(a, b)))
+            elif op == "remove" and a != b and a < n and b < n:
+                rems = [(a, b)]
+                edges.discard((min(a, b), max(a, b)))
+            elif op == "grow":
+                grow = a
+                n += a
+            else:
+                continue
+            out = svc.sessions.apply(
+                info.session_id, adds, rems, add_vertices=grow
+            )
+            # New vertices join the mirror at color 1 (the convention).
+            if grow:
+                mirror = np.concatenate(
+                    [mirror, np.ones(grow, dtype=np.int64)]
+                )
+            mirror[out.changed] = out.colors
+            # 1. The folded mirror is exactly the server's coloring.
+            server = svc.sessions.colors(info.session_id)
+            assert np.array_equal(mirror, server)
+            # 2. The maintained coloring stays proper.
+            assert svc.sessions.verify(info.session_id)["valid"]
+            # 3. The maintained coloring is proper on an independently
+            #    rebuilt snapshot, and after every fallback recolor it is
+            #    byte-equal to coloring that snapshot directly.
+            snapshot = CSRGraph.from_edge_list(n, sorted(edges))
+            assert_proper_coloring(snapshot, server)
+            if out.mode == "full":
+                direct = repro.color(snapshot, algorithm="bitwise")
+                assert np.array_equal(server, direct.colors)
+    finally:
+        svc.close(drain=False)

@@ -27,6 +27,7 @@ from repro.experiments import (
 )
 from repro.experiments.hw_bench import DEFAULT_HW_RESULT_PATH, LARGEST_STANDIN
 from repro.experiments.kernel_bench import DEFAULT_RESULT_PATH
+from repro.experiments.streaming_bench import DEFAULT_STREAMING_RESULT_PATH
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -69,6 +70,21 @@ def test_hw_baseline_is_checked_in():
     # The acceptance record: >=10x on the largest stand-in.
     rc = [e for e in doc["entries"] if e["dataset"] == LARGEST_STANDIN]
     assert rc and rc[0]["speedup"] >= 10.0
+
+
+def test_streaming_baseline_is_checked_in():
+    assert DEFAULT_STREAMING_RESULT_PATH == REPO_ROOT / "BENCH_streaming.json"
+    assert DEFAULT_STREAMING_RESULT_PATH.exists(), (
+        "run benchmarks/bench_streaming.py first"
+    )
+    doc = json.loads(DEFAULT_STREAMING_RESULT_PATH.read_text())
+    # The acceptance record: the session lane sustains >= 10x the naive
+    # per-batch full-recolor baseline, with every batch validated.
+    assert doc["floor_speedup"] == 10.0
+    assert doc["smoke"]["baseline_speedup"] >= doc["floor_speedup"]
+    assert doc["smoke"]["validated_batches"] > 0
+    for entry in doc["entries"]:
+        assert entry["validated_batches"] == entry["batches"]
 
 
 def test_hw_smoke_no_regression():

@@ -157,6 +157,27 @@ class TestServeParser:
                 "--dataset", "EF", "--status",
             ])
 
+    def test_submit_deltas_defaults(self):
+        args = build_parser().parse_args([
+            "submit-deltas", "--socket", "/tmp/x.sock", "--dataset", "EF",
+        ])
+        assert args.batches == 3
+        assert args.batch_size == 64
+        assert args.algorithm == "bitwise"
+        assert args.backend is None
+        assert args.verify_every is False
+
+    def test_submit_deltas_source_required_and_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit-deltas", "--socket", "/tmp/x.sock"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "submit-deltas", "--socket", "/tmp/x.sock",
+                "--dataset", "EF", "--input", "g.npz",
+            ])
+
 
 @pytest.fixture
 def served_socket(tmp_path):
@@ -202,6 +223,34 @@ class TestSubmit:
     def test_submit_needs_a_source(self, served_socket):
         with pytest.raises(SystemExit, match="needs"):
             main(["submit", "--socket", str(served_socket)])
+
+
+class TestSubmitDeltas:
+    def test_dataset_round_trip(self, served_socket, capsys):
+        rc = main([
+            "submit-deltas", "--socket", str(served_socket),
+            "--dataset", "EF", "--batches", "2", "--batch-size", "32",
+            "--verify-every",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "session " in out and "vertices" in out
+        assert "batch 1/2" in out and "batch 2/2" in out
+        assert "verified:" in out and "colors proper" in out
+        assert "deltas/s" in out
+
+    def test_graph_file_round_trip(self, served_socket, tmp_path, capsys):
+        graph_path = tmp_path / "g.npz"
+        main(["generate", "uniform", str(graph_path), "--scale", "7"])
+        capsys.readouterr()
+        rc = main([
+            "submit-deltas", "--socket", str(served_socket),
+            "--input", str(graph_path), "--batches", "2",
+            "--batch-size", "16",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out and "verified:" in out
 
 
 class TestExperiment:

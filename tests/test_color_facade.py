@@ -11,6 +11,7 @@ import pytest
 import repro
 from repro.coloring import (
     ALGORITHMS,
+    IncrementalColoring,
     bitwise_greedy_coloring,
     dsatur_coloring,
     greedy_coloring,
@@ -36,6 +37,7 @@ DIRECT = {
     "jp": lambda g: jones_plassmann_coloring(g, seed=SEED, backend="vectorized"),
     "luby": lambda g: mis_coloring(g, seed=SEED, backend="vectorized"),
     "gunrock": lambda g: gunrock_coloring(g, seed=SEED),
+    "incremental": lambda g: IncrementalColoring.from_graph(g).outcome(),
 }
 
 FACADE_OPTS = {
