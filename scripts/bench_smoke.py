@@ -65,11 +65,23 @@ A seventh gate runs against ``BENCH_streaming.json``:
    incremental path silently degrading to per-batch full recolors,
    which reads as ~1x regardless of host speed.
 
+An eighth gate runs against ``BENCH_mesh.json``:
+
+8. **Mesh worker scaling** — re-runs the closed-loop fleet through a
+   2-worker and a 1-worker mesh (byte parity with direct ``repro.color``
+   asserted across every registry stand-in, both data paths, before any
+   timing) and requires an absolute >= 1.3x throughput win
+   (``--mesh-floor``).  **Auto-skips with the reason reported** on
+   single-CPU hosts, where N processes time-slicing one core cannot
+   scale — same honesty rule as the kernel bench's worker-scaling
+   block, which records ``host_cpus`` for the same reason.
+
 Usage:
 
     python scripts/bench_smoke.py [--factor 2.0] [--repeats 3]
         [--obs-limit 1.05] [--skip-hw] [--skip-service] [--skip-native]
-        [--skip-streaming] [--service-factor 4.0] [--streaming-floor 10.0]
+        [--skip-streaming] [--skip-mesh] [--service-factor 4.0]
+        [--streaming-floor 10.0] [--mesh-floor 1.3]
 """
 
 from __future__ import annotations
@@ -84,12 +96,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments import (  # noqa: E402
     check_hw_native_smoke,
     check_hw_smoke,
+    check_mesh_smoke,
     check_native_smoke,
     check_obs_overhead,
     check_service_smoke,
     check_smoke,
     check_streaming_smoke,
     load_hw_results,
+    load_mesh_results,
     load_results,
     load_service_results,
     load_streaming_results,
@@ -176,6 +190,25 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-streaming",
         action="store_true",
         help="skip the streaming session-lane gate",
+    )
+    parser.add_argument(
+        "--mesh-baseline",
+        type=Path,
+        default=None,
+        help="mesh result JSON to echo alongside the gate "
+             "(default: repo BENCH_mesh.json)",
+    )
+    parser.add_argument(
+        "--mesh-floor",
+        type=float,
+        default=1.3,
+        help="absolute floor for the 2-worker mesh's throughput win over "
+             "1 worker on multi-CPU hosts (default: 1.3)",
+    )
+    parser.add_argument(
+        "--skip-mesh",
+        action="store_true",
+        help="skip the mesh worker-scaling gate",
     )
     args = parser.parse_args(argv)
 
@@ -266,6 +299,36 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: session lane fell below the absolute floor over "
                   "naive per-batch full recolor")
             return 1
+
+    if not args.skip_mesh:
+        try:
+            mesh_baseline = load_mesh_results(args.mesh_baseline)
+        except FileNotFoundError as e:
+            print(f"no mesh baseline found ({e.filename}); "
+                  "run benchmarks/bench_mesh.py")
+            return 1
+        mesh_ok, mesh_current, mesh_threshold = check_mesh_smoke(
+            floor=args.mesh_floor, repeats=args.repeats
+        )
+        if mesh_ok is None:
+            print(
+                f"mesh worker scaling: skipped (host has "
+                f"{int(mesh_current)} CPU(s); N processes time-slice one "
+                f"core — baseline recorded host_cpus="
+                f"{mesh_baseline.get('host_cpus')})"
+            )
+        else:
+            mesh_recorded = float(
+                mesh_baseline["smoke"]["baseline_speedup"]
+            )
+            print(
+                f"mesh worker scaling: current {mesh_current:.2f}x, "
+                f"recorded {mesh_recorded:.2f}x, floor {mesh_threshold:.2f}x"
+            )
+            if not mesh_ok:
+                print("FAIL: 2-worker mesh fell below the absolute "
+                      "throughput floor over 1 worker")
+                return 1
 
     if not args.skip_native:
         nat_ok, nat_current, nat_threshold = check_native_smoke(

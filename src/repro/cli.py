@@ -9,8 +9,12 @@ Installed as ``bitcolor-repro`` (or run ``python -m repro.cli``):
   performance, optionally with a per-PE Gantt trace;
 * ``experiment`` — regenerate one paper table/figure;
 * ``serve`` — run the long-lived coloring service on a Unix socket;
+  ``--workers N`` (N >= 2) runs a mesh instead: N worker processes
+  behind one consistent-hash router on the same socket;
 * ``submit`` — send one coloring job (or a status probe) to a served
   instance and print the result;
+* ``mesh-status`` — print a mesh router's aggregated placement/worker
+  snapshot;
 * ``submit-deltas`` — open a session on a served instance and stream
   synthetic edge-delta batches through the dynamic-graph lane.
 """
@@ -201,11 +205,41 @@ def cmd_serve(args) -> int:
         registry=Registry(),
         obs_path=args.obs,
     )
+    if args.workers > 1:
+        from .service import MeshConfig, serve_mesh
+
+        mesh_config = MeshConfig(
+            workers=args.workers,
+            service=config,
+            shard_threshold_vertices=args.shard_threshold or None,
+        )
+        print(f"serving mesh on {args.socket} "
+              f"(workers={args.workers}, executors={args.executors} each, "
+              f"depth={args.max_depth}, "
+              f"batching={'off' if args.no_batching else 'on'}) "
+              f"— ctrl-C to stop")
+        serve_mesh(args.socket, mesh_config)
+        print("drained and stopped")
+        return 0
     print(f"serving on {args.socket} "
           f"(executors={args.executors}, depth={args.max_depth}, "
           f"batching={'off' if args.no_batching else 'on'}) — ctrl-C to stop")
     serve(args.socket, config)
     print("drained and stopped")
+    return 0
+
+
+def cmd_mesh_status(args) -> int:
+    import json as _json
+
+    from .service import connect
+    from .service.protocol import wire_to_error
+
+    with connect(args.socket, client_id=args.client_id) as client:
+        frame = client.call({"op": "mesh.status"})
+    if not frame.get("ok"):
+        raise wire_to_error(frame.get("error", {}))
+    print(_json.dumps(frame["status"], indent=2, sort_keys=True))
     return 0
 
 
@@ -420,7 +454,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="disable micro-batching of small jobs")
     sv.add_argument("--obs", metavar="PATH",
                     help="export service spans/counters here on shutdown")
+    sv.add_argument("--workers", type=int, default=1,
+                    help="worker processes; >= 2 serves a mesh (consistent-"
+                         "hash router fronting N full service processes)")
+    sv.add_argument("--shard-threshold", type=int, default=50_000,
+                    help="mesh only: bitwise jobs with at least this many "
+                         "vertices take the cross-worker shared-memory "
+                         "shard path (0 disables)")
     sv.set_defaults(fn=cmd_serve)
+
+    ms = sub.add_parser(
+        "mesh-status", help="print a mesh router's aggregated snapshot"
+    )
+    ms.add_argument("--socket", required=True,
+                    help="Unix socket of the mesh router")
+    ms.add_argument("--client-id", default="cli")
+    ms.set_defaults(fn=cmd_mesh_status)
 
     sb = sub.add_parser("submit", help="submit a job to a served instance")
     sb.add_argument("--socket", required=True, help="Unix socket of the server")

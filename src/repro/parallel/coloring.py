@@ -49,7 +49,12 @@ from .shm import CSRSpec, SharedCSR, attach_graph
 __all__ = [
     "DEFAULT_NUM_SHARDS",
     "ParallelColoringResult",
+    "color_shard",
+    "find_cross_shard_conflicts",
     "parallel_bitwise_coloring",
+    "partitioner_for",
+    "recolor_first_free",
+    "split_ready",
 ]
 
 DEFAULT_NUM_SHARDS = 8
@@ -60,6 +65,17 @@ _PARTITIONERS = {
     "range": partition_vertex_ranges,
     "round_robin": partition_round_robin,
 }
+
+
+def partitioner_for(strategy: str):
+    """The partition function for ``strategy`` (raises listing options)."""
+    try:
+        return _PARTITIONERS[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition strategy {strategy!r}; "
+            f"options: {sorted(_PARTITIONERS)}"
+        ) from None
 
 
 @dataclass
@@ -111,13 +127,7 @@ def parallel_bitwise_coloring(
         num_shards = DEFAULT_NUM_SHARDS
     if num_shards < 1:
         raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-    try:
-        partitioner = _PARTITIONERS[partition]
-    except KeyError:
-        raise ValueError(
-            f"unknown partition strategy {partition!r}; "
-            f"options: {sorted(_PARTITIONERS)}"
-        ) from None
+    partitioner = partitioner_for(partition)
 
     reg = get_registry()
     with reg.span(
@@ -132,7 +142,7 @@ def parallel_bitwise_coloring(
         colors = _color_shards(
             graph, plan, workers, prune_uncolored, reg
         )
-        conflicted = _find_cross_shard_conflicts(graph, plan, colors)
+        conflicted = find_cross_shard_conflicts(graph, plan, colors)
         repair_rounds = _repair_conflicts(graph, colors, conflicted)
         used = np.unique(colors[colors != UNCOLORED])
         span.set(conflicts=int(conflicted.size), repair_rounds=repair_rounds)
@@ -250,7 +260,7 @@ def _color_one_shard(
 # ----------------------------------------------------------------------
 # Phase 2 — conflict detection and boundary repair (the DCT's job)
 # ----------------------------------------------------------------------
-def _find_cross_shard_conflicts(
+def find_cross_shard_conflicts(
     graph: CSRGraph, plan: ShardPlan, colors: np.ndarray
 ) -> np.ndarray:
     """Vertices that must recolor: the larger endpoint of each clashing cut edge.
@@ -269,6 +279,86 @@ def _find_cross_shard_conflicts(
     return np.unique(dst[clash])
 
 
+def color_shard(
+    graph: CSRGraph,
+    shard: int,
+    num_shards: int,
+    *,
+    strategy: str = "range",
+    prune_uncolored: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Speculatively color one shard; returns ``(vertices, colors)``.
+
+    The per-shard half of the parallel scheme as a standalone step, so a
+    remote executor (a mesh worker holding a shared-memory attachment of
+    the graph) can run exactly the shard coloring the in-process pool
+    would — same induced subgraph, same vectorized kernel, byte-identical
+    speculative colors.
+    """
+    vertices, sub = _shard_subgraph(graph, shard, num_shards, strategy)
+    if vertices.size == 0:
+        return vertices, np.zeros(0, dtype=np.int64)
+    return vertices, bitwise_greedy_coloring(
+        sub, prune_uncolored=prune_uncolored, backend="vectorized"
+    ).colors
+
+
+def split_ready(
+    graph: CSRGraph, todo: np.ndarray, pending: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One repair round's partition of ``todo`` into ``(ready, blocked)``.
+
+    A vertex is ready when no smaller-ID neighbour is still pending.
+    Ready vertices are mutually non-adjacent — for adjacent ``u < v``,
+    pending ``u`` blocks ``v`` — which is the property that makes both
+    the batched serial repair and the mesh's distributed per-owner
+    repair exact: every ready vertex sees final neighbour colors, and no
+    two writers of one round ever touch adjacent slots.
+    """
+    from ..kernels import gather_ranges
+
+    deg = graph.degrees()
+    lens = deg[todo]
+    dst = graph.edges[gather_ranges(graph.offsets[todo], lens)]
+    rows = np.repeat(np.arange(todo.size, dtype=np.int64), lens)
+    blocked = np.zeros(todo.size, dtype=bool)
+    blocked[rows[pending[dst] & (dst < todo[rows])]] = True
+    return todo[~blocked], todo[blocked]
+
+
+def recolor_first_free(
+    graph: CSRGraph, colors: np.ndarray, ready: np.ndarray
+) -> None:
+    """Recolor ``ready`` first-free against full neighbourhoods, in place.
+
+    Only valid on a mutually non-adjacent set (one :func:`split_ready`
+    round, or any owner-subset of one — first-free results depend only
+    on neighbour colors, never on other ready vertices, so splitting a
+    round across processes writing one shared colors array stays
+    byte-identical to the serial sweep).
+    """
+    if ready.size == 0:
+        return
+    from ..kernels import (
+        first_free_colors_packed,
+        gather_ranges,
+        scatter_or_colors,
+        words_for_colors,
+    )
+
+    # A round's first-free results never exceed the current max color
+    # plus one, but later rounds see the new colors — recompute the
+    # state width per call so a repair cascade can keep growing.  Extra
+    # width (a concurrent owner already wrote a new max) only pads the
+    # bitmap; the smallest free color is unchanged.
+    num_words = words_for_colors(int(colors.max()) + 1)
+    rlens = graph.degrees()[ready]
+    rdst = graph.edges[gather_ranges(graph.offsets[ready], rlens)]
+    rrows = np.repeat(np.arange(ready.size, dtype=np.int64), rlens)
+    state = scatter_or_colors(rrows, colors[rdst], ready.size, num_words)
+    colors[ready] = first_free_colors_packed(state)
+
+
 def _repair_conflicts(
     graph: CSRGraph, colors: np.ndarray, conflicted: np.ndarray
 ) -> int:
@@ -277,21 +367,13 @@ def _repair_conflicts(
     Equivalent to walking the conflicted set in ascending ID order and
     recoloring sequentially, but batched: each round colors every
     conflicted vertex with no smaller-ID conflicted neighbour still
-    pending.  Round members are mutually non-adjacent (a pending smaller
-    neighbour would block), so one scatter-OR + first-free sweep per
-    round is exact.  Mutates ``colors``; returns the round count.
+    pending (:func:`split_ready` proves round members mutually
+    non-adjacent, so one scatter-OR + first-free sweep per round —
+    :func:`recolor_first_free` — is exact).  Mutates ``colors``; returns
+    the round count.
     """
     if conflicted.size == 0:
         return 0
-    from ..kernels import (
-        first_free_colors_packed,
-        gather_ranges,
-        scatter_or_colors,
-        words_for_colors,
-    )
-
-    deg = graph.degrees()
-    offsets = graph.offsets
     pending = np.zeros(graph.num_vertices, dtype=bool)
     pending[conflicted] = True
     colors[conflicted] = UNCOLORED
@@ -299,21 +381,7 @@ def _repair_conflicts(
     rounds = 0
     while todo.size:
         rounds += 1
-        # A round's first-free results never exceed the current max color
-        # plus one, but later rounds see the new colors — recompute the
-        # state width per round so a repair cascade can keep growing.
-        num_words = words_for_colors(int(colors.max()) + 1)
-        lens = deg[todo]
-        dst = graph.edges[gather_ranges(offsets[todo], lens)]
-        rows = np.repeat(np.arange(todo.size, dtype=np.int64), lens)
-        blocked = np.zeros(todo.size, dtype=bool)
-        blocked[rows[pending[dst] & (dst < todo[rows])]] = True
-        ready = todo[~blocked]
-        rlens = deg[ready]
-        rdst = graph.edges[gather_ranges(offsets[ready], rlens)]
-        rrows = np.repeat(np.arange(ready.size, dtype=np.int64), rlens)
-        state = scatter_or_colors(rrows, colors[rdst], ready.size, num_words)
-        colors[ready] = first_free_colors_packed(state)
+        ready, todo = split_ready(graph, todo, pending)
+        recolor_first_free(graph, colors, ready)
         pending[ready] = False
-        todo = todo[blocked]
     return rounds

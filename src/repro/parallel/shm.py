@@ -21,13 +21,21 @@ from __future__ import annotations
 import multiprocessing
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 
-__all__ = ["CSRSpec", "SharedCSR", "attach_graph", "mp_context"]
+__all__ = [
+    "CSRSpec",
+    "SharedCSR",
+    "SharedI64Array",
+    "attach_array",
+    "attach_graph",
+    "detach_all",
+    "mp_context",
+]
 
 
 def mp_context():
@@ -118,9 +126,11 @@ class SharedCSR:
         return False
 
 
-# Worker-side attachment cache: one mapping (and one CSRGraph view, with
-# its memoised slot sources / dependency levels) per (spec, process).
-_ATTACHED: Dict[str, Tuple[CSRGraph, list]] = {}
+# Worker-side attachment cache: one mapping per (block name, process) —
+# the value pairs the materialised view (a CSRGraph, with its memoised
+# slot sources / dependency levels, or a bare ndarray) with the
+# SharedMemory objects keeping its buffers alive.
+_ATTACHED: Dict[str, Tuple[object, list]] = {}
 
 
 def attach_graph(spec: CSRSpec) -> CSRGraph:
@@ -145,15 +155,102 @@ def attach_graph(spec: CSRSpec) -> CSRGraph:
     return graph
 
 
-def _attach_block(name: str) -> shared_memory.SharedMemory:
-    shm = shared_memory.SharedMemory(name=name)
-    if mp_context().get_start_method() != "fork":  # pragma: no cover - non-Linux
-        # Spawned workers run their own resource tracker; deregister the
-        # attachment so a worker exit cannot unlink the parent's blocks.
-        try:
-            from multiprocessing import resource_tracker
+def detach_all() -> int:
+    """Drop every cached attachment this process holds; returns the count.
 
-            resource_tracker.unregister(shm._name, "shared_memory")
+    Long-lived processes (mesh workers) attach graphs as jobs arrive;
+    without an explicit release the mappings — and, on POSIX, the
+    underlying pages of since-unlinked blocks — live until process exit.
+    The mesh's ``shard.release`` op calls this between shard jobs.
+    """
+    released = len(_ATTACHED)
+    for _graph, blocks in _ATTACHED.values():
+        for shm in blocks:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - platform dependent
+                pass
+    _ATTACHED.clear()
+    return released
+
+
+class SharedI64Array:
+    """Parent-side owner of one named, *writable* int64 shared array.
+
+    The mesh's cross-worker shard protocol uses one of these as the
+    colors vector: the router creates it, every worker attaches the same
+    block (:func:`attach_array`) and writes its own shard's slots in
+    place — results travel by memory, not by wire.  Safe because shard
+    vertex sets are disjoint and repair-round ready sets are mutually
+    non-adjacent; no two processes ever write the same slot in a phase.
+
+    Same ownership rules as :class:`SharedCSR`: the creator unlinks on
+    :meth:`close`, attachments only close their own mapping.
+    """
+
+    def __init__(self, size: int, *, fill: Optional[int] = None):
+        self.size = int(size)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, self.size * 8)
+        )
+        self.array = np.ndarray(self.size, dtype=np.int64, buffer=self._shm.buf)
+        if fill is not None:
+            self.array[:] = fill
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release this process's mapping and destroy the block."""
+        try:
+            self.array = None
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
         except Exception:
             pass
+
+    def __enter__(self) -> "SharedI64Array":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def attach_array(name: str, size: int) -> np.ndarray:
+    """Map a :class:`SharedI64Array` block into a writable ndarray view.
+
+    Cached per process like :func:`attach_graph`, and released together
+    with graph attachments by :func:`detach_all`.
+    """
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached[0]
+    shm = _attach_block(name)
+    array = np.ndarray(int(size), dtype=np.int64, buffer=shm.buf)
+    _ATTACHED[name] = (array, [shm])
+    return array
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    shm = shared_memory.SharedMemory(name=name)
+    # Attaching registers the block with the resource tracker again
+    # (CPython < 3.13 has no track=False): under spawn that lets a worker
+    # exit unlink blocks the parent still owns, under fork it leaves
+    # duplicate stale entries the shared tracker warns about at exit.
+    # The owner's own registration is the one that matters — drop the
+    # attachment's.
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - platform dependent
+        pass
     return shm

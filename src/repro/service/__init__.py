@@ -41,6 +41,7 @@ Quick start::
 from .batcher import batch_key, disjoint_union, run_microbatch
 from .cache import ResultCache
 from .client import Client, SessionHandle, connect
+from .execution import ExecutionEngine
 from .executor import BackendHealth, Executor
 from .jobs import (
     Job,
@@ -55,6 +56,15 @@ from .jobs import (
     SessionError,
     SessionNotFound,
     build_request,
+)
+from .mesh import ColoringMesh, MeshConfig, MeshServer, serve_mesh
+from .placement import (
+    HashRing,
+    MeshPlacement,
+    PlacementPolicy,
+    WorkerLoad,
+    least_loaded,
+    placement_key,
 )
 from .sessions import ApplyOutcome, SessionInfo, SessionManager
 from .queue import AdmissionQueue
@@ -74,9 +84,12 @@ __all__ = [
     "ApplyOutcome",
     "BackendHealth",
     "Client",
+    "ColoringMesh",
     "ColoringService",
     "DEGRADATION_LADDER",
+    "ExecutionEngine",
     "Executor",
+    "HashRing",
     "Job",
     "JobFailed",
     "JobRequest",
@@ -84,6 +97,10 @@ __all__ = [
     "JobState",
     "JobTimeout",
     "MICROBATCH_CROSSOVER",
+    "MeshConfig",
+    "MeshPlacement",
+    "MeshServer",
+    "PlacementPolicy",
     "ResultCache",
     "RetryAfter",
     "RouteDecision",
@@ -97,12 +114,16 @@ __all__ = [
     "SessionInfo",
     "SessionManager",
     "SessionNotFound",
+    "WorkerLoad",
     "batch_key",
     "build_request",
     "connect",
     "disjoint_union",
+    "least_loaded",
     "next_rung",
+    "placement_key",
     "preferred_software_tier",
     "run_microbatch",
     "serve",
+    "serve_mesh",
 ]

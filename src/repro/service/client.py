@@ -228,6 +228,25 @@ class Client:
             return True
         return bool(self._roundtrip({"op": "ping"}).get("pong"))
 
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One raw protocol round trip; returns the full response frame.
+
+        Unlike the typed helpers this does **not** raise on
+        ``ok: false`` — the whole frame (including any error payload)
+        comes back verbatim.  The mesh router forwards decoded-once
+        client messages to workers through this, so error frames (e.g. a
+        shed worker's ``retry_after``) stay inspectable before the
+        router decides whether to spill or relay.  Socket clients only.
+        """
+        if self._sock is None:
+            raise ServiceError("raw call requires a socket client")
+        with self._lock:
+            write_frame(self._sock, message)
+            response = read_frame(self._sock)
+        if response is None:
+            raise ServiceError("server closed the connection")
+        return response
+
     # ------------------------------------------------------------------
     def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
         assert self._sock is not None

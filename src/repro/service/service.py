@@ -1,15 +1,21 @@
-"""The long-lived coloring service: queue → route → batch → execute.
+"""The long-lived coloring service: queue → place → batch → execute.
 
 :class:`ColoringService` is the in-process engine behind both entry
 points (the asyncio socket server and the in-process
 :class:`~repro.service.client.Client`).  One dispatcher thread pulls
-admitted jobs off the priority queue, routes each
-(:class:`~repro.service.router.Router`), coalesces micro-batches
-(:mod:`~repro.service.batcher`), and hands execution units to a small
-thread pool where the fault-tolerant
-:class:`~repro.service.executor.Executor` runs them.  A
-content-addressed :class:`~repro.service.cache.ResultCache` answers
-repeated graphs without touching a kernel.
+admitted jobs off the priority queue and asks its
+:class:`~repro.service.placement.PlacementPolicy` where each should run
+— lane, backend, micro-batch companions — then hands the decided unit
+to a small thread pool where the shared
+:class:`~repro.service.execution.ExecutionEngine` runs it (cache lookup,
+deadline checks, the fault-tolerant
+:class:`~repro.service.executor.Executor`, completion accounting).
+
+The placement/execution split is deliberate: the multi-worker mesh
+(:mod:`repro.service.mesh`) reuses the exact same
+:class:`~repro.service.execution.ExecutionEngine` inside each worker
+process, so single-process and mesh deployments share one execution
+code path and differ only in placement.
 
 Lifecycle: construct → ``submit``/``color`` freely from any thread →
 ``close()``.  ``close(drain=True)`` (the default) stops admission, lets
@@ -21,7 +27,8 @@ Observability: every stage feeds the service's
 ``service.latency.{queue,route,execute,total}_s`` histograms,
 ``service.{shed,retries,degraded}`` and cache/batch counters — and
 :meth:`ColoringService.status` is the ``/healthz``-style snapshot the
-server exposes as an op.
+server exposes as an op (taken atomically under the accounting lock, so
+mesh health checks never see torn inflight/queue-depth pairs).
 """
 
 from __future__ import annotations
@@ -31,26 +38,19 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from .. import __version__
 from ..coloring.registry import get_algorithm
 from ..graph.csr import CSRGraph
 from ..obs import JsonlExporter, Registry
-from .batcher import run_microbatch
 from .cache import ResultCache
+from .execution import ExecutionEngine
 from .executor import Executor
-from .jobs import (
-    Job,
-    JobFailed,
-    JobRequest,
-    JobResult,
-    JobState,
-    JobTimeout,
-    ServiceClosed,
-)
+from .jobs import Job, JobFailed, JobRequest, JobResult, ServiceClosed
+from .placement import PlacementPolicy
 from .queue import AdmissionQueue
-from .router import RouteDecision, Router
+from .router import Router
 from .sessions import SessionManager
 
 __all__ = ["ColoringService", "ServiceConfig"]
@@ -82,6 +82,11 @@ class ServiceConfig:
     batch_window_s: float = 0.002
     """How long the dispatcher lingers for companions after the first
     batchable job; 0 batches only what is already queued."""
+    batch_min_fill: Optional[int] = None
+    """Min jobs (leader included) the initial queue sweep must gather
+    before the linger window is worth paying; fewer run immediately.
+    None resolves to ``batch_max_jobs`` — linger only when the sweep
+    already filled a whole batch's worth of demand."""
     # routing
     small_vertices: Optional[int] = None
     """Micro-batch crossover; None resolves to the router's per-tier
@@ -127,6 +132,12 @@ class ColoringService:
             skew_threshold=cfg.skew_threshold,
             batching=cfg.batching,
         )
+        self.placement = PlacementPolicy(
+            self.router,
+            batch_max_jobs=cfg.batch_max_jobs,
+            batch_window_s=cfg.batch_window_s,
+            batch_min_fill=cfg.batch_min_fill,
+        )
         self.cache = ResultCache(cfg.cache_capacity)
         self.executor = Executor(
             registry=self.registry,
@@ -135,6 +146,13 @@ class ColoringService:
             backoff_cap_s=cfg.backoff_cap_s,
             failure_threshold=cfg.failure_threshold,
             fault_hook=cfg.fault_hook,
+        )
+        self.engine = ExecutionEngine(
+            registry=self.registry,
+            cache=self.cache,
+            executor=self.executor,
+            default_timeout_s=cfg.default_timeout_s,
+            on_finish=self._on_job_finish,
         )
         self.sessions = SessionManager(
             self,
@@ -222,21 +240,28 @@ class ColoringService:
     # Introspection
     # ------------------------------------------------------------------
     def status(self) -> Dict[str, Any]:
-        """The ``/healthz``-style snapshot (JSON-safe)."""
-        counters = dict(self.registry.counters)
+        """The ``/healthz``-style snapshot (JSON-safe).
+
+        The whole snapshot is assembled under the accounting lock so the
+        (inflight, queue_depth, state) triple is never torn — a mesh
+        health check acting on "queue full but nothing in flight" must
+        be seeing one instant, not two.
+        """
         with self._inflight_lock:
+            counters = dict(self.registry.counters)
             inflight = self._inflight
-        if self._closed:
-            state = "closed"
-        elif self._draining:
-            state = "draining"
-        else:
-            state = "ok"
+            queue_depth = self.queue.depth
+            if self._closed:
+                state = "closed"
+            elif self._draining:
+                state = "draining"
+            else:
+                state = "ok"
         return {
             "status": state,
             "version": __version__,
             "uptime_s": time.monotonic() - self._started_at,
-            "queue_depth": self.queue.depth,
+            "queue_depth": queue_depth,
             "inflight": inflight,
             "jobs": {
                 key.rsplit(".", 1)[1]: counters.get(key, 0)
@@ -335,21 +360,22 @@ class ColoringService:
                 self._dispatch_one(job)
             except Exception as exc:  # defensive: dispatcher must survive
                 job.fail(JobFailed(f"dispatch error: {exc!r}"))
-                self._finish_accounting(job)
-                self._mark_inflight(-1)
+                self.engine._finish(job)
                 self._unit_slots.release()
 
     def _dispatch_one(self, job: Job) -> None:
         t0 = time.monotonic()
-        decision = self.router.route(job.request, job.graph)
+        decision = self.placement.decide(job.request, job.graph)
         self.registry.observe("service.latency.route_s", time.monotonic() - t0)
         if decision.lane == "batch":
-            batch = [job] + self._collect_companions(decision, exclude=job)
+            batch = [job] + self.placement.collect_companions(
+                self.queue, decision, exclude=job
+            )
             for extra in batch[1:]:
                 self._mark_inflight(+1)
-            self._pool.submit(self._run_unit, self._run_batch, batch, decision)
+            self._pool.submit(self._run_unit, self.engine.run_batch, batch, decision)
         else:
-            self._pool.submit(self._run_unit, self._run_single, job, decision)
+            self._pool.submit(self._run_unit, self.engine.run_single, job, decision)
 
     def _run_unit(self, fn, *args) -> None:
         """One pool task = one execution slot; release it no matter what."""
@@ -358,232 +384,8 @@ class ColoringService:
         finally:
             self._unit_slots.release()
 
-    def _collect_companions(
-        self, decision: RouteDecision, *, exclude: Job
-    ) -> List[Job]:
-        """Sweep the queue (and linger ``batch_window_s``) for batch mates."""
-        limit = self.config.batch_max_jobs - 1
-        if limit <= 0:
-            return []
-
-        def matches(candidate: Job) -> bool:
-            if candidate is exclude:
-                return False
-            mate = self.router.route(candidate.request, candidate.graph)
-            return mate.lane == "batch" and mate.batch_key == decision.batch_key
-
-        companions = self.queue.drain_matching(matches, limit)
-        window_end = time.monotonic() + self.config.batch_window_s
-        while len(companions) < limit:
-            remaining = window_end - time.monotonic()
-            if remaining <= 0:
-                break
-            time.sleep(min(remaining, 0.0005))
-            companions.extend(
-                self.queue.drain_matching(matches, limit - len(companions))
-            )
-        return companions
-
-    # -- execution units (run on the pool) ------------------------------
-    def _begin(self, job: Job) -> None:
-        job.state = JobState.RUNNING
-        job.started_at = time.monotonic()
-        self.registry.observe(
-            "service.latency.queue_s", job.started_at - job.submitted_at
-        )
-
-    def _run_single(self, job: Job, decision: RouteDecision) -> None:
-        try:
-            self._begin(job)
-            if self._fail_if_expired(job):
-                return
-            if self._complete_from_cache(job, decision):
-                return
-            t0 = time.monotonic()
-            colors, n_colors, backend, engine, attempts = (
-                self.executor.run_request(
-                    job.request,
-                    job.graph,
-                    decision.backend,
-                    decision.engine,
-                    deadline=job.deadline,
-                )
-            )
-            execute_s = time.monotonic() - t0
-            self.registry.observe("service.latency.execute_s", execute_s)
-            # A degraded job ran on a different rung than its cache key
-            # pins; keep such results out of the cache so a pinned-backend
-            # entry always means "computed by that backend".
-            if backend == (job.request.backend or backend):
-                self.cache.put(job.request, job.graph, colors, n_colors)
-            job.attempts = attempts
-            job.complete(
-                self._result(
-                    job,
-                    colors=colors,
-                    n_colors=n_colors,
-                    backend=backend,
-                    engine=engine,
-                    route=decision.label,
-                    attempts=attempts,
-                    execute_s=execute_s,
-                )
-            )
-        except (JobTimeout, JobFailed) as exc:
-            job.fail(exc)
-        except Exception as exc:  # pragma: no cover - defensive
-            job.fail(JobFailed(f"unexpected service error: {exc!r}"))
-        finally:
-            self._finish_accounting(job)
-            self._mark_inflight(-1)
-
-    def _run_batch(self, batch: List[Job], decision: RouteDecision) -> None:
-        """One micro-batch: shared union coloring, per-job completion.
-
-        Cache hits and expired jobs peel off first; if the union run
-        itself fails, every remaining job falls back to the single-job
-        path (with its full retry/degradation machinery) rather than
-        failing the whole batch.
-        """
-        runnable: List[Job] = []
-        for job in batch:
-            # Per-job guard: a failure peeling one job (cache lookup,
-            # bookkeeping) must fail that job alone, never strand the
-            # rest of the batch with in-flight accounting still held.
-            try:
-                self._begin(job)
-                if self._fail_if_expired(job):
-                    self._finish_accounting(job)
-                    self._mark_inflight(-1)
-                elif self._complete_from_cache(job, decision):
-                    self._finish_accounting(job)
-                    self._mark_inflight(-1)
-                else:
-                    runnable.append(job)
-            except Exception as exc:  # pragma: no cover - defensive
-                job.fail(JobFailed(f"batch admission error: {exc!r}"))
-                self._finish_accounting(job)
-                self._mark_inflight(-1)
-        try:
-            if not runnable:
-                return
-            t0 = time.monotonic()
-            with self.registry.span(
-                "service.microbatch",
-                jobs=len(runnable),
-                key=str(decision.batch_key),
-            ):
-                results = run_microbatch(
-                    [job.graph for job in runnable], decision.batch_key
-                )
-            execute_s = time.monotonic() - t0
-            self.registry.add("service.batch.batches")
-            self.registry.add("service.batch.jobs", len(runnable))
-            self.registry.observe("service.batch.size", len(runnable))
-            self.registry.observe("service.latency.execute_s", execute_s)
-            for job, (colors, n_colors) in zip(runnable, results):
-                self.cache.put(job.request, job.graph, colors, n_colors)
-                job.attempts = 1
-                job.complete(
-                    self._result(
-                        job,
-                        colors=colors,
-                        n_colors=n_colors,
-                        backend=decision.backend,
-                        engine=None,
-                        route=decision.label,
-                        attempts=1,
-                        execute_s=execute_s,
-                        batched=len(runnable),
-                    )
-                )
-                self._finish_accounting(job)
-                self._mark_inflight(-1)
-        except Exception:
-            # The shared run failed; give each job its own fair shot.
-            self.registry.add("service.batch.fallbacks")
-            for job in runnable:
-                if not job.done:
-                    self._run_single(job, decision)
-
-    def _complete_from_cache(self, job: Job, decision: RouteDecision) -> bool:
-        cached = self.cache.get(job.request, job.graph)
-        if cached is None:
-            if ResultCache.cacheable(job.request):
-                self.registry.add("service.cache.misses")
-            return False
-        self.registry.add("service.cache.hits")
-        colors, n_colors = cached
-        job.complete(
-            self._result(
-                job,
-                colors=colors,
-                n_colors=n_colors,
-                backend=job.request.backend,
-                engine=job.request.engine,
-                route=decision.label + " (cached)",
-                attempts=0,
-                execute_s=0.0,
-                cache_hit=True,
-            )
-        )
-        return True
-
-    def _fail_if_expired(self, job: Job) -> bool:
-        if job.expired():
-            job.fail(
-                JobTimeout(
-                    f"job {job.request.job_id} spent its "
-                    f"{job.request.timeout_s or self.config.default_timeout_s}s "
-                    "budget before execution"
-                )
-            )
-            return True
-        return False
-
-    def _result(
-        self,
-        job: Job,
-        *,
-        colors,
-        n_colors: int,
-        backend: Optional[str],
-        engine: Optional[str],
-        route: str,
-        attempts: int,
-        execute_s: float,
-        cache_hit: bool = False,
-        batched: int = 0,
-    ) -> JobResult:
-        now = time.monotonic()
-        return JobResult(
-            colors=colors,
-            n_colors=n_colors,
-            algorithm=job.request.algorithm,
-            backend=backend,
-            engine=engine,
-            route=route,
-            cache_hit=cache_hit,
-            batched=batched,
-            attempts=attempts,
-            timings={
-                "queue": (job.started_at or now) - job.submitted_at,
-                "execute": execute_s,
-                "total": now - job.submitted_at,
-            },
-        )
-
-    def _finish_accounting(self, job: Job) -> None:
-        if job.state == JobState.DONE:
-            self.registry.add("service.jobs.completed")
-        elif job.state == JobState.TIMED_OUT:
-            self.registry.add("service.jobs.timed_out")
-        else:
-            self.registry.add("service.jobs.failed")
-        if job.finished_at is not None:
-            self.registry.observe(
-                "service.latency.total_s", job.finished_at - job.submitted_at
-            )
+    def _on_job_finish(self, job: Job) -> None:
+        self._mark_inflight(-1)
 
     def _mark_inflight(self, delta: int) -> None:
         with self._idle:

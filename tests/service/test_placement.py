@@ -1,0 +1,245 @@
+"""Placement-policy tests: consistent hashing, spill, min-coalesce.
+
+The properties the mesh depends on, pinned directly on the pure
+placement layer (no processes, no sockets):
+
+* same fingerprint -> same worker, deterministically, across
+  independently built rings;
+* a worker's death moves only the keys it owned (~1/N of the space) —
+  every other key keeps its warm home;
+* spill under saturation goes to the least-loaded live worker, stably
+  by name on ties;
+* the micro-batcher's linger window only opens once the initial queue
+  sweep gathered ``batch_min_fill`` jobs — the small-fleet fix.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    HashRing,
+    MeshPlacement,
+    PlacementPolicy,
+    WorkerLoad,
+    least_loaded,
+    placement_key,
+)
+
+common = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+WORKERS = ["w0", "w1", "w2", "w3"]
+
+keys = st.text(min_size=1, max_size=24)
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing
+# ----------------------------------------------------------------------
+@common
+@given(key=keys)
+def test_same_key_same_worker(key):
+    """Placement is a pure function of (key, live set) — two rings built
+    from the same membership agree, and repeat lookups never move."""
+    a = HashRing(WORKERS)
+    b = HashRing(reversed(WORKERS))  # insertion order must not matter
+    assert a.lookup(key) == b.lookup(key)
+    assert a.lookup(key) == a.lookup(key)
+
+
+@common
+@given(key=keys, dead=st.sampled_from(WORKERS))
+def test_death_moves_only_the_dead_workers_keys(key, dead):
+    ring = HashRing(WORKERS)
+    before = ring.lookup(key)
+    ring.remove(dead)
+    after = ring.lookup(key)
+    if before != dead:
+        assert after == before  # survivors' keys never move
+    else:
+        assert after != dead  # orphaned keys land on a survivor
+
+
+def test_death_moves_about_one_nth_of_the_keyspace():
+    ring = HashRing(WORKERS)
+    sample = [f"graph-{i}" for i in range(2000)]
+    before = {k: ring.lookup(k) for k in sample}
+    ring.remove("w2")
+    moved = sum(1 for k in sample if ring.lookup(k) != before[k])
+    # Exactly the dead worker's keys moved...
+    assert moved == sum(1 for k in sample if before[k] == "w2")
+    # ...and with 64 virtual nodes that is roughly 1/4 of the space.
+    assert 0.10 <= moved / len(sample) <= 0.45
+
+
+def test_empty_ring_raises_and_membership_helpers():
+    ring = HashRing()
+    with pytest.raises(LookupError):
+        ring.lookup("anything")
+    ring.add("w0")
+    assert "w0" in ring and len(ring) == 1
+    ring.add("w0")  # idempotent
+    assert len(ring) == 1
+    ring.remove("w0")
+    ring.remove("w0")  # idempotent
+    with pytest.raises(LookupError):
+        ring.lookup("anything")
+
+
+def test_placement_key_content_addresses(small_graphs):
+    g = small_graphs[0]
+    request = SimpleNamespace(dataset=None)
+    assert placement_key(request, g) == g.fingerprint()
+    dataset_request = SimpleNamespace(dataset="EF")
+    assert placement_key(dataset_request, None) == "dataset:EF"
+
+
+# ----------------------------------------------------------------------
+# Spill
+# ----------------------------------------------------------------------
+@common
+@given(
+    loads=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 8)),
+        min_size=len(WORKERS),
+        max_size=len(WORKERS),
+    ),
+    key=keys,
+)
+def test_spill_goes_to_the_least_loaded_survivor(loads, key):
+    placement = MeshPlacement(WORKERS)
+    for worker, (depth, inflight) in zip(WORKERS, loads):
+        placement.update_load(worker, depth, inflight)
+    home = placement.home(key)
+    target = placement.spill_target(key, exclude=[home])
+    assert target is not None and target != home
+    pressures = {
+        w: load.pressure
+        for w, load in placement.loads().items()
+        if w != home
+    }
+    assert pressures[target] == min(pressures.values())
+    # Stable on ties: the lexicographically first of the minimum.
+    assert target == min(
+        w for w, p in pressures.items() if p == pressures[target]
+    )
+
+
+def test_spill_returns_none_when_alone():
+    placement = MeshPlacement(["only"])
+    assert placement.spill_target("k", exclude=["only"]) is None
+
+
+def test_least_loaded_excludes_and_breaks_ties_by_name():
+    loads = {
+        "b": WorkerLoad(queue_depth=1, inflight=0),
+        "a": WorkerLoad(queue_depth=1, inflight=0),
+        "c": WorkerLoad(queue_depth=0, inflight=0),
+    }
+    assert least_loaded(loads) == "c"
+    assert least_loaded(loads, exclude=["c"]) == "a"
+    assert least_loaded(loads, exclude=["a", "b", "c"]) is None
+
+
+def test_mark_dead_rehashes_and_updates_stats():
+    placement = MeshPlacement(WORKERS)
+    assert placement.mark_dead("w1") is True
+    assert placement.mark_dead("w1") is False  # already dead
+    stats = placement.stats()
+    assert stats["live"] == ["w0", "w2", "w3"]
+    assert stats["dead"] == ["w1"]
+    assert stats["rehashes"] == 1
+    # Dead workers take no load updates and no placements.
+    placement.update_load("w1", 9, 9)
+    assert "w1" not in placement.loads()
+    for i in range(50):
+        assert placement.home(f"k{i}") != "w1"
+
+
+# ----------------------------------------------------------------------
+# Min-coalesce threshold (the small-fleet fix)
+# ----------------------------------------------------------------------
+class _StubRouter:
+    """Routes everything to one batch lane."""
+
+    def route(self, request, graph):
+        return SimpleNamespace(lane="batch", batch_key="k")
+
+
+class _StubQueue:
+    """Yields scripted companion batches per drain_matching sweep."""
+
+    def __init__(self, sweeps):
+        self._sweeps = list(sweeps)
+
+    def drain_matching(self, matches, limit):
+        batch = self._sweeps.pop(0) if self._sweeps else []
+        return [job for job in batch[:limit] if matches(job)]
+
+
+def _jobs(n):
+    return [
+        SimpleNamespace(request=SimpleNamespace(), graph=None)
+        for _ in range(n)
+    ]
+
+
+def _decision():
+    return SimpleNamespace(lane="batch", batch_key="k")
+
+
+def test_min_fill_defaults_to_batch_max_jobs():
+    policy = PlacementPolicy(_StubRouter(), batch_max_jobs=8)
+    assert policy.batch_min_fill == 8
+    policy = PlacementPolicy(_StubRouter(), batch_max_jobs=8, batch_min_fill=3)
+    assert policy.batch_min_fill == 3
+
+
+def test_under_threshold_sweep_bypasses_the_window():
+    """Fewer than batch_min_fill compatible jobs -> no linger at all."""
+    policy = PlacementPolicy(
+        _StubRouter(), batch_max_jobs=8, batch_min_fill=4
+    )
+    slept = []
+    queue = _StubQueue([_jobs(2), _jobs(5)])  # second sweep must not happen
+    leader = _jobs(1)[0]
+    companions = policy.collect_companions(
+        queue, _decision(), exclude=leader, sleep=slept.append
+    )
+    assert len(companions) == 2
+    assert slept == []
+
+
+def test_at_threshold_sweep_opens_the_window():
+    policy = PlacementPolicy(
+        _StubRouter(), batch_max_jobs=8, batch_min_fill=4
+    )
+    slept = []
+    queue = _StubQueue([_jobs(3), _jobs(9)])  # 3 + leader meets min fill
+    leader = _jobs(1)[0]
+    companions = policy.collect_companions(
+        queue, _decision(), exclude=leader, sleep=slept.append
+    )
+    assert slept  # the window lingered
+    assert len(companions) == 7  # topped up to batch_max_jobs - 1
+
+
+def test_leader_is_excluded_from_its_own_sweep():
+    policy = PlacementPolicy(
+        _StubRouter(), batch_max_jobs=4, batch_min_fill=1
+    )
+    leader = _jobs(1)[0]
+    queue = _StubQueue([[leader] + _jobs(2)])
+    companions = policy.collect_companions(
+        queue, _decision(), exclude=leader, sleep=lambda s: None
+    )
+    assert all(c is not leader for c in companions)
+    assert len(companions) == 2
