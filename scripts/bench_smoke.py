@@ -76,12 +76,27 @@ An eighth gate runs against ``BENCH_mesh.json``:
    scale — same honesty rule as the kernel bench's worker-scaling
    block, which records ``host_cpus`` for the same reason.
 
+A ninth gate runs against ``BENCH_router.json``:
+
+9. **Fitted routing quality** — refits the decision surface from the
+   checked-in scenario-sweep matrix and re-scores both routing policies
+   against the *recorded* per-backend seconds (deterministic — catches
+   fit or policy regressions without re-timing anything), requiring the
+   fitted router to match the measured-fastest parity-neutral backend on
+   >= ``--router-agreement-floor`` of points and to cut mean routed
+   latency vs the hand-set constants by >= ``--router-reduction-floor``.
+   A small live probe then boots fitted and constant services and
+   asserts both produce colorings byte-identical to direct
+   ``repro.color`` — routing may only ever change which backend runs,
+   never the colors.
+
 Usage:
 
     python scripts/bench_smoke.py [--factor 2.0] [--repeats 3]
         [--obs-limit 1.05] [--skip-hw] [--skip-service] [--skip-native]
-        [--skip-streaming] [--skip-mesh] [--service-factor 4.0]
-        [--streaming-floor 10.0] [--mesh-floor 1.3]
+        [--skip-streaming] [--skip-mesh] [--skip-router]
+        [--service-factor 4.0] [--streaming-floor 10.0] [--mesh-floor 1.3]
+        [--router-agreement-floor 0.9] [--router-reduction-floor 0.10]
 """
 
 from __future__ import annotations
@@ -99,12 +114,14 @@ from repro.experiments import (  # noqa: E402
     check_mesh_smoke,
     check_native_smoke,
     check_obs_overhead,
+    check_router_smoke,
     check_service_smoke,
     check_smoke,
     check_streaming_smoke,
     load_hw_results,
     load_mesh_results,
     load_results,
+    load_router_results,
     load_service_results,
     load_streaming_results,
 )
@@ -209,6 +226,32 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-mesh",
         action="store_true",
         help="skip the mesh worker-scaling gate",
+    )
+    parser.add_argument(
+        "--router-baseline",
+        type=Path,
+        default=None,
+        help="router result JSON to refit and re-score "
+             "(default: repo BENCH_router.json)",
+    )
+    parser.add_argument(
+        "--router-agreement-floor",
+        type=float,
+        default=0.9,
+        help="fraction of sweep points where the fitted router must match "
+             "the measured-fastest parity-neutral backend (default: 0.9)",
+    )
+    parser.add_argument(
+        "--router-reduction-floor",
+        type=float,
+        default=0.10,
+        help="required mean-latency reduction of fitted over constant "
+             "routing on the recorded matrix (default: 0.10)",
+    )
+    parser.add_argument(
+        "--skip-router",
+        action="store_true",
+        help="skip the fitted-routing gate",
     )
     args = parser.parse_args(argv)
 
@@ -329,6 +372,31 @@ def main(argv: list[str] | None = None) -> int:
                 print("FAIL: 2-worker mesh fell below the absolute "
                       "throughput floor over 1 worker")
                 return 1
+
+    if not args.skip_router:
+        try:
+            router_baseline = load_router_results(args.router_baseline)
+        except FileNotFoundError as e:
+            print(f"no router baseline found ({e.filename}); "
+                  "run benchmarks/bench_router.py")
+            return 1
+        rt_ok, rt_current, rt_floors = check_router_smoke(
+            router_baseline,
+            agreement_floor=args.router_agreement_floor,
+            reduction_floor=args.router_reduction_floor,
+        )
+        print(
+            f"fitted routing: agreement {rt_current['agreement']:.2f} "
+            f"(floor {rt_floors['agreement']:.2f}), latency reduction "
+            f"{rt_current['latency_reduction']:.2f} "
+            f"(floor {rt_floors['latency_reduction']:.2f}), "
+            f"{rt_current['parity_colorings_checked']} colorings "
+            "byte-checked against direct repro.color"
+        )
+        if not rt_ok:
+            print("FAIL: fitted routing fell below the agreement or "
+                  "latency-reduction floor (or broke coloring parity)")
+            return 1
 
     if not args.skip_native:
         nat_ok, nat_current, nat_threshold = check_native_smoke(

@@ -1,0 +1,362 @@
+"""Fitted routing decision surface: measured latency in, backend out.
+
+The hand-set router constants (``large_vertices``, ``skew_threshold``)
+encode a two-threshold caricature of how the backends behave.  The
+scenario sweep (:mod:`repro.experiments.scenario_sweep`) replaces the
+caricature with data: every fast backend timed over a sampled generator
+parameter space (degree skew × community strength × density × size).
+This module turns that table into the surface the router consults:
+
+* one small **regression tree per backend** predicting ``log2(seconds)``
+  from the request features (:data:`repro.service.stats.FEATURE_NAMES`)
+  — piecewise-constant, exactly interpolating the measured grid when
+  grown deep, no dependencies beyond NumPy;
+* :meth:`DecisionModel.choose` picks the **argmin predicted latency**
+  among the backends available to the request.  Argmin over per-backend
+  surfaces is what makes the model monotone by construction: for any
+  feature point, the chosen backend is never one the model itself
+  predicts to be slower than an alternative — the property the
+  hypothesis tests pin for the size axis.
+
+A backend is only eligible where the model has seen it: each tree
+carries the size range it was trained on, and :meth:`choose` excludes
+backends queried more than one doubling outside that range (the
+``microbatch`` pseudo-backend, measured on small graphs only, must not
+win a 1M-vertex request on extrapolated leaves).
+
+The model serialises to a small JSON document; :func:`load_decision`
+also accepts a raw sweep table or a ``BENCH_router.json`` bundle and
+fits on the spot, so the service can point straight at the checked-in
+benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .stats import FEATURE_NAMES, GraphFeatures
+
+__all__ = [
+    "DECISION_MODEL_VERSION",
+    "PARITY_NEUTRAL_BACKENDS",
+    "DecisionModel",
+    "constant_label",
+    "fit_decision_model",
+    "load_decision",
+]
+
+DECISION_MODEL_VERSION = 1
+"""Bump when the serialised layout changes; loaders reject other versions."""
+
+PARITY_NEUTRAL_BACKENDS: Tuple[str, ...] = (
+    "python",
+    "vectorized",
+    "native",
+    "hw",
+    "microbatch",
+)
+"""Backends that reproduce the sequential bitwise greedy byte-exactly.
+
+``parallel`` is deliberately absent: its determinism contract is
+*across worker counts* — boundary repair may legally settle on a
+different (equally proper) coloring than the sequential order.  The
+fitted router only ever substitutes backends from this set for an
+unpinned job, so autotuned routing changes *which* engine runs, never
+the colors.  ``parallel`` remains measured by the sweep and reachable
+by pinning and by the hand-set fallback policy."""
+
+_SIZE_FEATURE = FEATURE_NAMES.index("log2_vertices")
+_DOMAIN_MARGIN = 1.0
+"""Eligibility margin in doublings: a backend may be chosen up to one
+size doubling outside its measured range, never further."""
+
+
+# ----------------------------------------------------------------------
+# Regression tree (variance-reduction splits, pure NumPy)
+# ----------------------------------------------------------------------
+def _grow_tree(
+    X: np.ndarray, y: np.ndarray, *, depth: int, min_leaf: int
+) -> dict:
+    if depth <= 0 or y.size <= min_leaf or float(np.ptp(y)) == 0.0:
+        return {"leaf": float(y.mean())}
+    best = None  # (sse, feature, threshold)
+    for f in range(X.shape[1]):
+        values = np.unique(X[:, f])
+        if values.size < 2:
+            continue
+        for thr in (values[:-1] + values[1:]) / 2.0:
+            mask = X[:, f] <= thr
+            lo, hi = y[mask], y[~mask]
+            if lo.size < min_leaf or hi.size < min_leaf:
+                continue
+            sse = float(((lo - lo.mean()) ** 2).sum() + ((hi - hi.mean()) ** 2).sum())
+            if best is None or sse < best[0]:
+                best = (sse, f, float(thr))
+    if best is None:
+        return {"leaf": float(y.mean())}
+    _, f, thr = best
+    mask = X[:, f] <= thr
+    return {
+        "f": f,
+        "t": thr,
+        "lo": _grow_tree(X[mask], y[mask], depth=depth - 1, min_leaf=min_leaf),
+        "hi": _grow_tree(X[~mask], y[~mask], depth=depth - 1, min_leaf=min_leaf),
+    }
+
+
+def _eval_tree(tree: dict, x: np.ndarray) -> float:
+    while "leaf" not in tree:
+        tree = tree["lo"] if x[tree["f"]] <= tree["t"] else tree["hi"]
+    return tree["leaf"]
+
+
+# ----------------------------------------------------------------------
+# The model
+# ----------------------------------------------------------------------
+@dataclass
+class DecisionModel:
+    """Per-backend latency surfaces plus the argmin chooser."""
+
+    feature_names: Tuple[str, ...]
+    backends: Tuple[str, ...]
+    trees: Dict[str, dict]
+    """``backend -> regression tree`` over ``log2(seconds)``."""
+    size_ranges: Dict[str, Tuple[float, float]]
+    """``backend -> (lo, hi)`` trained ``log2_vertices`` range."""
+    meta: Dict[str, object] = field(default_factory=dict)
+    """Provenance: point count, training agreement, source table kind."""
+
+    # -- scoring -------------------------------------------------------
+    def predict_latency(
+        self, features: GraphFeatures, backend: str
+    ) -> float:
+        """Predicted wall-clock seconds for ``backend`` at ``features``."""
+        if backend not in self.trees:
+            raise KeyError(
+                f"backend {backend!r} not in fitted model; "
+                f"fitted: {', '.join(self.backends)}"
+            )
+        return float(2.0 ** _eval_tree(self.trees[backend], features.vector()))
+
+    def eligible(self, features: GraphFeatures, backend: str) -> bool:
+        """Whether ``features`` lies within the backend's trained sizes
+        (plus the one-doubling margin)."""
+        lo, hi = self.size_ranges[backend]
+        size = float(np.log2(features.num_vertices + 1))
+        return lo - _DOMAIN_MARGIN <= size <= hi + _DOMAIN_MARGIN
+
+    def choose(
+        self,
+        features: GraphFeatures,
+        *,
+        available: Optional[Sequence[str]] = None,
+    ) -> str:
+        """The predicted-fastest backend label at ``features``.
+
+        ``available`` restricts the candidates (the router passes the
+        intersection of the algorithm's backends and the batch lane's
+        eligibility); out-of-domain backends are excluded unless that
+        would empty the candidate set entirely.
+        """
+        candidates = [
+            b for b in (available if available is not None else self.backends)
+            if b in self.trees
+        ]
+        if not candidates:
+            raise ValueError(
+                "no fitted backend available "
+                f"(asked: {list(available or [])}; fitted: {list(self.backends)})"
+            )
+        in_domain = [b for b in candidates if self.eligible(features, b)]
+        pool = in_domain or candidates
+        return min(pool, key=lambda b: self.predict_latency(features, b))
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "router-decision-model",
+            "version": DECISION_MODEL_VERSION,
+            "feature_names": list(self.feature_names),
+            "backends": list(self.backends),
+            "trees": self.trees,
+            "size_ranges": {b: list(r) for b, r in self.size_ranges.items()},
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "DecisionModel":
+        if d.get("kind") != "router-decision-model":
+            raise ValueError(
+                f"not a decision model document (kind={d.get('kind')!r})"
+            )
+        if int(d.get("version", -1)) != DECISION_MODEL_VERSION:
+            raise ValueError(
+                f"decision model version {d.get('version')!r} unsupported "
+                f"(expected {DECISION_MODEL_VERSION})"
+            )
+        return cls(
+            feature_names=tuple(d["feature_names"]),
+            backends=tuple(d["backends"]),
+            trees=dict(d["trees"]),
+            size_ranges={
+                b: (float(r[0]), float(r[1]))
+                for b, r in dict(d["size_ranges"]).items()
+            },
+            meta=dict(d.get("meta", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DecisionModel":
+        return load_decision(path)
+
+
+# ----------------------------------------------------------------------
+# Fitting
+# ----------------------------------------------------------------------
+def fit_decision_model(
+    table: Dict[str, object],
+    *,
+    max_depth: int = 12,
+    min_leaf: int = 1,
+) -> DecisionModel:
+    """Fit the decision surface from a scenario-sweep results table.
+
+    One regression tree per backend over the points where that backend
+    was measured (the ``microbatch`` pseudo-backend only exists below
+    its size cap, which is exactly what the per-backend domain range
+    then encodes).  ``meta.agreement`` records the fraction of training
+    points where the fitted argmin reproduces the measured-fastest
+    backend — the router bench gates on it staying >= 0.9.
+    """
+    points = list(table.get("points", ()))
+    if not points:
+        raise ValueError("sweep table has no points to fit from")
+    backends = [str(b) for b in table.get("backends", ())]
+    if not backends:
+        raise ValueError("sweep table names no backends")
+    trees: Dict[str, dict] = {}
+    size_ranges: Dict[str, Tuple[float, float]] = {}
+    for backend in backends:
+        rows = [
+            (GraphFeatures.from_dict(p["features"]), float(p["seconds"][backend]))
+            for p in points
+            if backend in p["seconds"]
+        ]
+        if not rows:
+            continue
+        X = np.stack([f.vector() for f, _ in rows])
+        y = np.array([math.log2(max(s, 1e-9)) for _, s in rows])
+        trees[backend] = _grow_tree(X, y, depth=max_depth, min_leaf=min_leaf)
+        sizes = X[:, _SIZE_FEATURE]
+        size_ranges[backend] = (float(sizes.min()), float(sizes.max()))
+    if not trees:
+        raise ValueError("no backend in the table has measured points")
+    model = DecisionModel(
+        feature_names=FEATURE_NAMES,
+        backends=tuple(b for b in backends if b in trees),
+        trees=trees,
+        size_ranges=size_ranges,
+        meta={
+            "points": len(points),
+            "max_depth": max_depth,
+            "min_leaf": min_leaf,
+            "table_kind": table.get("kind"),
+            "software_tier": table.get("software_tier"),
+        },
+    )
+    model.meta["agreement"] = training_agreement(model, table)
+    return model
+
+
+def training_agreement(model: DecisionModel, table: Dict[str, object]) -> float:
+    """Fraction of table points whose fitted choice is the measured-fastest.
+
+    Both the fitted pick and the measured reference are restricted to
+    :data:`PARITY_NEUTRAL_BACKENDS` — the pool the router actually
+    chooses from for an unpinned job.  A parity-divergent backend being
+    fastest at a point does not count against the model, because the
+    model is forbidden from picking it anyway.
+    """
+    points = list(table.get("points", ()))
+    if not points:
+        return 0.0
+    agree = 0
+    for p in points:
+        measured = [
+            b for b in p["seconds"] if b in PARITY_NEUTRAL_BACKENDS
+        ] or list(p["seconds"])
+        features = GraphFeatures.from_dict(p["features"])
+        pick = model.choose(features, available=measured)
+        fastest = min(measured, key=lambda b: float(p["seconds"][b]))
+        if pick == fastest or math.isclose(
+            float(p["seconds"][pick]), float(p["seconds"][fastest]),
+            rel_tol=0.02,
+        ):
+            agree += 1
+    return agree / len(points)
+
+
+# ----------------------------------------------------------------------
+# Loading (model file, sweep table, or bench bundle)
+# ----------------------------------------------------------------------
+def load_decision(path: Union[str, Path]) -> DecisionModel:
+    """Load a decision surface from any of the three artifact shapes.
+
+    * a saved :class:`DecisionModel` document (``kind:
+      router-decision-model``) — loaded as-is;
+    * a scenario-sweep table (``kind: router-scenario-sweep``) — fitted
+      with the defaults;
+    * a ``BENCH_router.json`` bundle (its ``matrix`` key holds the
+      table) — fitted from the checked-in matrix, so a deployment can
+      point ``router_table`` straight at the repo artifact.
+    """
+    doc = json.loads(Path(path).read_text())
+    kind = doc.get("kind")
+    if kind == "router-decision-model":
+        return DecisionModel.from_dict(doc)
+    if kind == "router-scenario-sweep":
+        return fit_decision_model(doc)
+    if isinstance(doc.get("matrix"), dict):
+        return fit_decision_model(doc["matrix"])
+    raise ValueError(
+        f"{path}: not a decision model, sweep table, or router bench bundle "
+        f"(kind={kind!r})"
+    )
+
+
+# ----------------------------------------------------------------------
+# The documented fallback, expressed on features
+# ----------------------------------------------------------------------
+def constant_label(
+    features: GraphFeatures,
+    *,
+    small_vertices: int,
+    large_vertices: int,
+    skew_threshold: float,
+    software_tier: str,
+) -> str:
+    """The hand-set threshold policy as a label over the same features.
+
+    This is the router's documented fallback (and pre-autotune
+    behaviour) for an unpinned batchable bitwise job, replicated on
+    :class:`GraphFeatures` so the bench can score fitted vs constant
+    routing on the same measured matrix without building graphs.
+    """
+    if features.num_vertices <= small_vertices:
+        return "microbatch"
+    if features.num_vertices >= large_vertices:
+        if features.degree_skew >= skew_threshold:
+            return "parallel"
+        return "hw"
+    return software_tier

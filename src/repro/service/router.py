@@ -23,6 +23,21 @@ The router turns one job (plus its resolved graph) into a
   accelerator model's epoch-batched engine, whose DRAM merging thrives
   on sorted bounded-degree adjacency.
 
+The size/skew thresholds above are the **documented fallback**.  When
+the router is constructed with a fitted
+:class:`~repro.service.decision.DecisionModel` (trained on the
+scenario-sweep table — see :mod:`repro.experiments.scenario_sweep` and
+``docs/autotune.md``), every unpinned bitwise job is instead routed to
+the backend the model predicts fastest for the graph's measured
+features, restricted to
+:data:`~repro.service.decision.PARITY_NEUTRAL_BACKENDS` so the choice
+can never change the colors.  The features come from a
+fingerprint-keyed :class:`~repro.service.stats.GraphStatsCache`, so a
+graph the service has seen is never re-scanned just to be routed.  Any
+failure along the fitted path (stats unavailable, model missing the
+algorithm's backends) falls back to the constant thresholds with a
+warn-once event and a ``router.fallback`` counter — never silently.
+
 The router also owns the **degradation ladder** the executor climbs
 down when a backend keeps failing: ``parallel → vectorized → python``
 (and ``hw → vectorized``, ``native → vectorized``), each rung trading
@@ -32,13 +47,17 @@ by pool workers dying.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from ..coloring.registry import get_algorithm
 from ..graph.csr import CSRGraph
+from ..obs import Registry, get_registry
 from .batcher import batch_key
+from .decision import PARITY_NEUTRAL_BACKENDS, DecisionModel
 from .jobs import JobRequest
+from .stats import GraphFeatures, GraphStatsCache
 
 __all__ = [
     "DEGRADATION_LADDER",
@@ -122,6 +141,12 @@ class Router:
     :func:`preferred_software_tier`); it also selects the micro-batch
     crossover from :data:`MICROBATCH_CROSSOVER` when ``small_vertices``
     is left at None.
+
+    When ``decision`` carries a fitted
+    :class:`~repro.service.decision.DecisionModel`, unpinned bitwise
+    jobs take the fitted path instead of the thresholds (see the module
+    docstring); the thresholds stay as the documented fallback and keep
+    governing every other job.
     """
 
     def __init__(
@@ -132,6 +157,9 @@ class Router:
         skew_threshold: float = 8.0,
         batching: bool = True,
         software_tier: Optional[str] = None,
+        decision: Optional[DecisionModel] = None,
+        stats_cache: Optional[GraphStatsCache] = None,
+        registry: Optional[Registry] = None,
     ):
         self.software_tier = software_tier or preferred_software_tier()
         if self.software_tier not in MICROBATCH_CROSSOVER:
@@ -147,7 +175,37 @@ class Router:
         self.large_vertices = large_vertices
         self.skew_threshold = skew_threshold
         self.batching = batching
+        self.decision = decision
+        self.stats_cache = stats_cache if stats_cache is not None else GraphStatsCache()
+        self._registry = registry
+        self._warned: set = set()
 
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+    def _reg(self) -> Registry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def features(self, graph: CSRGraph) -> GraphFeatures:
+        """Routing features for ``graph``, via the fingerprint-keyed
+        stats cache (computed at most once per distinct graph)."""
+        return self.stats_cache.get(graph, registry=self._registry)
+
+    def _fallback(self, reason: str) -> None:
+        """Record one constant-threshold fallback; warn once per reason."""
+        self._reg().add("router.fallback")
+        if reason not in self._warned:
+            self._warned.add(reason)
+            warnings.warn(
+                f"router.fallback reason={reason!r}: routing with the "
+                "hand-set thresholds for this and similar requests",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
     def route(self, request: JobRequest, graph: CSRGraph) -> RouteDecision:
         spec = get_algorithm(request.algorithm)
         pinned = request.backend is not None or request.engine is not None
@@ -168,6 +226,14 @@ class Router:
             if self.batching
             else None
         )
+        if not pinned and self.decision is not None:
+            # Fitted routing applies only where the sweep measured:
+            # bitwise kernels.  Other algorithms keep the constant
+            # policy (their backends were never timed by the table).
+            if request.algorithm == "bitwise":
+                fitted = self._route_fitted(graph, spec, key, backend)
+                if fitted is not None:
+                    return fitted
         if key is not None and graph.num_vertices <= self.small_vertices:
             reason = "(pinned, batchable)" if pinned else "(small)"
             return RouteDecision(
@@ -185,7 +251,7 @@ class Router:
             graph.num_vertices >= self.large_vertices
             and "parallel" in spec.backends
         ):
-            if self._degree_skew(graph) >= self.skew_threshold:
+            if self.features(graph).degree_skew >= self.skew_threshold:
                 return RouteDecision(
                     lane="direct",
                     backend="parallel",
@@ -203,10 +269,50 @@ class Router:
             lane="direct", backend=backend, engine=None, reason="(default)"
         )
 
-    @staticmethod
-    def _degree_skew(graph: CSRGraph) -> float:
-        """Max-to-mean degree ratio; 0 for edgeless graphs."""
-        if graph.num_edges == 0 or graph.num_vertices == 0:
-            return 0.0
-        mean = graph.num_edges / graph.num_vertices
-        return graph.max_degree() / mean
+    def _route_fitted(
+        self,
+        graph: CSRGraph,
+        spec,
+        key: Optional[tuple],
+        tier_backend: str,
+    ) -> Optional[RouteDecision]:
+        """The fitted decision for one unpinned bitwise job.
+
+        Returns None (after recording the fallback) when the fitted path
+        cannot answer — the caller then applies the constant thresholds.
+        Candidates are restricted to the parity-neutral backends: the
+        fitted surface changes which engine runs, never the colors.
+        """
+        try:
+            features = self.features(graph)
+        except Exception as exc:  # stats failure must never kill routing
+            self._fallback(f"stats unavailable ({type(exc).__name__})")
+            return None
+        candidates: List[str] = [
+            b for b in spec.backends if b in PARITY_NEUTRAL_BACKENDS
+        ]
+        if key is not None:
+            candidates.append("microbatch")
+        try:
+            pick = self.decision.choose(features, available=candidates)
+        except (KeyError, ValueError):
+            self._fallback("no fitted backend for request")
+            return None
+        self._reg().add("router.fitted")
+        if pick == "microbatch":
+            return RouteDecision(
+                lane="batch",
+                backend=tier_backend,
+                engine=None,
+                reason="(fitted, microbatch)",
+                batch_key=key,
+            )
+        if pick == "hw":
+            # The sweep measures the accelerator model's epoch-batched
+            # engine; the event engine is never an autotuned target.
+            return RouteDecision(
+                lane="direct", backend="hw", engine="batched", reason="(fitted)"
+            )
+        return RouteDecision(
+            lane="direct", backend=pick, engine=None, reason="(fitted)"
+        )

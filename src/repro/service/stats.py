@@ -1,0 +1,186 @@
+"""Per-request graph features, cached by canonical CSR fingerprint.
+
+Routing needs a handful of cheap structural statistics — vertex/edge
+counts, degree skew, density — for every unpinned job.  Computing them
+is one pass over the degree array, but the service sees the same graphs
+over and over (the whole premise of the result cache), so even that pass
+is wasted work after the first sight.  :class:`GraphStatsCache` keys the
+computed :class:`GraphFeatures` on :func:`repro.graph.csr_fingerprint`
+— the exact key the result cache uses, so the two caches age together
+and a graph the service has colored is *never* re-scanned just to be
+routed.
+
+The feature set is deliberately tiny and deliberately the same one the
+scenario sweep records (:mod:`repro.experiments.scenario_sweep`): the
+fitted decision surface (:mod:`repro.service.decision`) is trained on
+measured points described by these features, so whatever the router can
+observe at request time is exactly what the model was fitted on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..obs import Registry, get_registry
+
+__all__ = [
+    "FEATURE_NAMES",
+    "GraphFeatures",
+    "GraphStatsCache",
+]
+
+FEATURE_NAMES: Tuple[str, ...] = (
+    "log2_vertices",
+    "log2_edges",
+    "degree_skew",
+    "density",
+)
+"""Feature vector layout shared by the stats cache, the scenario sweep
+table, and the fitted decision model.  Sizes enter in log space (latency
+scales multiplicatively with them); skew and density are already
+dimensionless ratios."""
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """The routing-relevant shape of one graph."""
+
+    num_vertices: int
+    num_edges: int
+    """Directed edge slots (each undirected edge counted twice), matching
+    :attr:`repro.graph.csr.CSRGraph.num_edges`."""
+    max_degree: int
+    mean_degree: float
+    degree_skew: float
+    """Max-to-mean degree ratio (0 for edgeless graphs) — the same
+    statistic the hand-set ``skew_threshold`` compares against."""
+    density: float
+    """``mean_degree / (num_vertices - 1)``: fraction of possible
+    neighbours the average vertex actually has (0 for trivial graphs)."""
+
+    @classmethod
+    def compute(cls, graph: CSRGraph) -> "GraphFeatures":
+        n = graph.num_vertices
+        m = graph.num_edges
+        if n == 0 or m == 0:
+            return cls(n, m, 0, 0.0, 0.0, 0.0)
+        mean = m / n
+        return cls(
+            num_vertices=n,
+            num_edges=m,
+            max_degree=graph.max_degree(),
+            mean_degree=mean,
+            degree_skew=graph.max_degree() / mean,
+            density=mean / (n - 1) if n > 1 else 0.0,
+        )
+
+    def vector(self) -> np.ndarray:
+        """The features in :data:`FEATURE_NAMES` order (float64)."""
+        return np.array(
+            [
+                np.log2(self.num_vertices + 1),
+                np.log2(self.num_edges + 1),
+                self.degree_skew,
+                self.density,
+            ],
+            dtype=np.float64,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "degree_skew": self.degree_skew,
+            "density": self.density,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "GraphFeatures":
+        return cls(
+            num_vertices=int(d["num_vertices"]),
+            num_edges=int(d["num_edges"]),
+            max_degree=int(d["max_degree"]),
+            mean_degree=float(d["mean_degree"]),
+            degree_skew=float(d["degree_skew"]),
+            density=float(d["density"]),
+        )
+
+
+class GraphStatsCache:
+    """Thread-safe LRU of :class:`GraphFeatures`, keyed on fingerprint.
+
+    Hits and misses feed the ``router.stats_cache.{hits,misses}``
+    counters of whatever registry the caller passes (the service passes
+    its own), so a routing path that silently re-scans CSRs shows up in
+    the ``/healthz`` snapshot instead of only in a profile.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, GraphFeatures]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(
+        self, graph: CSRGraph, *, registry: Optional[Registry] = None
+    ) -> GraphFeatures:
+        """Features for ``graph``, computed at most once per fingerprint.
+
+        The fingerprint itself is memoised on the graph object (and is
+        already computed by the result-cache key path for cacheable
+        jobs), so a warm request performs no CSR scan at all.
+        """
+        reg = registry if registry is not None else get_registry()
+        key = graph.fingerprint()
+        with self._lock:
+            features = self._entries.get(key)
+            if features is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                reg.add("router.stats_cache.hits")
+                return features
+            self.misses += 1
+        reg.add("router.stats_cache.misses")
+        features = GraphFeatures.compute(graph)
+        with self._lock:
+            self._entries[key] = features
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return features
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop the entry for one graph (session-lane mutation hook)."""
+        with self._lock:
+            if fingerprint in self._entries:
+                del self._entries[fingerprint]
+                return 1
+        return 0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,0 +1,94 @@
+"""The fingerprint-keyed graph stats cache behind routing decisions."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi, rmat
+from repro.obs import Registry
+from repro.service.stats import FEATURE_NAMES, GraphFeatures, GraphStatsCache
+
+
+class TestGraphFeatures:
+    def test_compute_matches_graph(self):
+        g = rmat(8, 4, seed=3)
+        f = GraphFeatures.compute(g)
+        assert f.num_vertices == g.num_vertices
+        assert f.num_edges == g.num_edges
+        assert f.max_degree == g.max_degree()
+        assert f.mean_degree == pytest.approx(g.num_edges / g.num_vertices)
+        assert f.degree_skew == pytest.approx(
+            g.max_degree() / (g.num_edges / g.num_vertices)
+        )
+        assert f.density == pytest.approx(
+            f.mean_degree / (g.num_vertices - 1)
+        )
+
+    def test_edgeless_graph_is_all_zeros(self):
+        g = erdos_renyi(10, 0.0, seed=0)
+        f = GraphFeatures.compute(g)
+        assert (f.degree_skew, f.density, f.mean_degree) == (0.0, 0.0, 0.0)
+
+    def test_vector_layout_matches_feature_names(self):
+        g = erdos_renyi(50, 0.2, seed=1)
+        f = GraphFeatures.compute(g)
+        v = f.vector()
+        assert v.shape == (len(FEATURE_NAMES),)
+        assert v[FEATURE_NAMES.index("log2_vertices")] == pytest.approx(
+            np.log2(f.num_vertices + 1)
+        )
+        assert v[FEATURE_NAMES.index("log2_edges")] == pytest.approx(
+            np.log2(f.num_edges + 1)
+        )
+        assert v[FEATURE_NAMES.index("degree_skew")] == pytest.approx(f.degree_skew)
+        assert v[FEATURE_NAMES.index("density")] == pytest.approx(f.density)
+
+    def test_dict_round_trip(self):
+        f = GraphFeatures.compute(rmat(7, 3, seed=9))
+        assert GraphFeatures.from_dict(f.as_dict()) == f
+
+
+class TestGraphStatsCache:
+    def test_hit_after_miss_with_counters(self):
+        reg = Registry()
+        cache = GraphStatsCache()
+        g = erdos_renyi(60, 0.1, seed=2)
+        first = cache.get(g, registry=reg)
+        second = cache.get(g, registry=reg)
+        assert first == second
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 1
+        assert reg.counters["router.stats_cache.misses"] == 1
+        assert reg.counters["router.stats_cache.hits"] == 1
+
+    def test_byte_identical_graph_objects_share_one_entry(self):
+        cache = GraphStatsCache()
+        a = erdos_renyi(40, 0.2, seed=5)
+        b = erdos_renyi(40, 0.2, seed=5)
+        assert a is not b
+        cache.get(a, registry=Registry())
+        cache.get(b, registry=Registry())
+        assert len(cache) == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_lru_eviction_at_capacity(self):
+        cache = GraphStatsCache(capacity=2)
+        graphs = [erdos_renyi(30 + i, 0.2, seed=i) for i in range(3)]
+        reg = Registry()
+        for g in graphs:
+            cache.get(g, registry=reg)
+        assert len(cache) == 2
+        # graphs[0] was evicted: re-fetching misses again.
+        cache.get(graphs[0], registry=reg)
+        assert cache.stats()["misses"] == 4
+
+    def test_invalidate_fingerprint(self):
+        cache = GraphStatsCache()
+        g = erdos_renyi(25, 0.3, seed=7)
+        cache.get(g, registry=Registry())
+        assert cache.invalidate_fingerprint(g.fingerprint()) == 1
+        assert cache.invalidate_fingerprint(g.fingerprint()) == 0
+        assert len(cache) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GraphStatsCache(capacity=0)

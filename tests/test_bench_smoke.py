@@ -19,14 +19,17 @@ from repro.experiments import (
     check_hw_smoke,
     check_native_smoke,
     check_obs_overhead,
+    check_router_smoke,
     check_smoke,
     load_hw_results,
     load_results,
+    load_router_results,
     run_native_smoke,
     run_smoke,
 )
 from repro.experiments.hw_bench import DEFAULT_HW_RESULT_PATH, LARGEST_STANDIN
 from repro.experiments.kernel_bench import DEFAULT_RESULT_PATH
+from repro.experiments.router_bench import DEFAULT_ROUTER_RESULT_PATH
 from repro.experiments.streaming_bench import DEFAULT_STREAMING_RESULT_PATH
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -85,6 +88,41 @@ def test_streaming_baseline_is_checked_in():
     assert doc["smoke"]["validated_batches"] > 0
     for entry in doc["entries"]:
         assert entry["validated_batches"] == entry["batches"]
+
+
+def test_router_baseline_is_checked_in():
+    assert DEFAULT_ROUTER_RESULT_PATH == REPO_ROOT / "BENCH_router.json"
+    assert DEFAULT_ROUTER_RESULT_PATH.exists(), (
+        "run benchmarks/bench_router.py first"
+    )
+    doc = json.loads(DEFAULT_ROUTER_RESULT_PATH.read_text())
+    # The acceptance record: the fitted router matches the measured
+    # fastest parity-neutral backend on >= 90% of sweep points AND cuts
+    # mean routed latency >= 10% vs the hand-set thresholds, with live
+    # coloring parity asserted before the record was kept.
+    assert doc["agreement_floor"] == 0.9
+    assert doc["reduction_floor"] == 0.10
+    assert doc["smoke"]["agreement"] >= doc["agreement_floor"]
+    assert doc["smoke"]["latency_reduction"] >= doc["reduction_floor"]
+    assert doc["smoke"]["parity_colorings_checked"] > 0
+    assert len(doc["matrix"]["points"]) >= 48
+
+
+def test_router_smoke_no_regression():
+    """Refit from the checked-in matrix and re-score both policies.
+
+    Deterministic (scores against the recorded seconds, no re-timing)
+    apart from the small live parity probe through real services.
+    """
+    baseline = load_router_results()
+    ok, current, floors = check_router_smoke(baseline)
+    assert ok, (
+        f"fitted routing regressed: agreement {current['agreement']:.2f} "
+        f"(floor {floors['agreement']:.2f}), latency reduction "
+        f"{current['latency_reduction']:.2f} "
+        f"(floor {floors['latency_reduction']:.2f})"
+    )
+    assert current["parity_colorings_checked"] > 0
 
 
 def test_hw_smoke_no_regression():
