@@ -90,13 +90,26 @@ A ninth gate runs against ``BENCH_router.json``:
    ``repro.color`` — routing may only ever change which backend runs,
    never the colors.
 
+A tenth gate runs against ``BENCH_hbm.json``:
+
+10. **Memory profiles + compressed layouts** — fully deterministic
+    (modeled cycles, no wall clock): asserts exact event-vs-batched
+    stats/colors parity on every registered memory profile under all
+    three edge layouts, then requires the delta-compressed layout to cut
+    modeled edge-read cycles (``edge_blocks_fetched *
+    dram_stream_cycles``) by >= ``--hbm-reduction-floor`` (default 15 %)
+    on every skewed stand-in.  Catches a layout or profile silently
+    breaking the engine parity contract, or the compression degrading to
+    the plain encoding.
+
 Usage:
 
     python scripts/bench_smoke.py [--factor 2.0] [--repeats 3]
         [--obs-limit 1.05] [--skip-hw] [--skip-service] [--skip-native]
-        [--skip-streaming] [--skip-mesh] [--skip-router]
+        [--skip-streaming] [--skip-mesh] [--skip-router] [--skip-hbm]
         [--service-factor 4.0] [--streaming-floor 10.0] [--mesh-floor 1.3]
         [--router-agreement-floor 0.9] [--router-reduction-floor 0.10]
+        [--hbm-reduction-floor 0.15]
 """
 
 from __future__ import annotations
@@ -109,6 +122,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.experiments import (  # noqa: E402
+    check_hbm_smoke,
     check_hw_native_smoke,
     check_hw_smoke,
     check_mesh_smoke,
@@ -118,6 +132,7 @@ from repro.experiments import (  # noqa: E402
     check_service_smoke,
     check_smoke,
     check_streaming_smoke,
+    load_hbm_results,
     load_hw_results,
     load_mesh_results,
     load_results,
@@ -252,6 +267,25 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-router",
         action="store_true",
         help="skip the fitted-routing gate",
+    )
+    parser.add_argument(
+        "--hbm-baseline",
+        type=Path,
+        default=None,
+        help="hbm result JSON to echo alongside the gate "
+             "(default: repo BENCH_hbm.json)",
+    )
+    parser.add_argument(
+        "--hbm-reduction-floor",
+        type=float,
+        default=0.15,
+        help="required delta-compressed edge-read-cycle reduction on "
+             "every skewed stand-in (default: 0.15)",
+    )
+    parser.add_argument(
+        "--skip-hbm",
+        action="store_true",
+        help="skip the memory-profile/layout gate",
     )
     args = parser.parse_args(argv)
 
@@ -396,6 +430,29 @@ def main(argv: list[str] | None = None) -> int:
         if not rt_ok:
             print("FAIL: fitted routing fell below the agreement or "
                   "latency-reduction floor (or broke coloring parity)")
+            return 1
+
+    if not args.skip_hbm:
+        try:
+            hbm_baseline = load_hbm_results(args.hbm_baseline)
+        except FileNotFoundError as e:
+            print(f"no hbm baseline found ({e.filename}); "
+                  "run benchmarks/bench_hbm.py")
+            return 1
+        hbm_ok, hbm_current, hbm_threshold = check_hbm_smoke(
+            hbm_baseline, floor=args.hbm_reduction_floor
+        )
+        hbm_recorded = float(
+            hbm_baseline["smoke"]["min_delta_reduction"]
+        )
+        print(
+            f"hbm profile/layout gate: parity ok, min delta-compressed "
+            f"reduction current {hbm_current:.1%}, recorded "
+            f"{hbm_recorded:.1%}, floor {hbm_threshold:.1%}"
+        )
+        if not hbm_ok:
+            print("FAIL: delta-compressed layout fell below the "
+                  "edge-read-cycle reduction floor")
             return 1
 
     if not args.skip_native:

@@ -67,9 +67,13 @@ def color(
         ``backend="hw"`` (the full BitColor accelerator model, which
         further accepts ``engine="event"|"batched"`` — the batched
         engine is the epoch-vectorized fast path with identical results
-        — plus ``epoch_size=`` for its batch granularity and
+        — plus ``epoch_size=`` for its batch granularity,
         ``replay="auto"|"python"|"native"`` for the batched engine's
-        schedule-recurrence implementation).
+        schedule-recurrence implementation,
+        ``mem_profile="ddr4-u200"|"hbm2"`` to model a registered
+        off-chip memory (:func:`repro.hw.mem.profiles`), and
+        ``layout="plain"|"degree-sorted"|"delta-compressed"`` for the
+        edge-array encoding (:mod:`repro.graph.layout`)).
     obs:
         ``None`` — instrument into the ambient default registry (no-op
         unless enabled); a :class:`~repro.obs.Registry` — instrument into
@@ -130,6 +134,31 @@ def color(
             raise ValueError(
                 f"unknown replay {replay!r}; allowed: auto, python, native"
             )
+    # mem_profile= / layout= likewise only reach the accelerator model;
+    # validate the names eagerly against the hw.mem / graph.layout
+    # registries so typos fail here with the capability list.
+    mem_profile = opts.get("mem_profile")
+    if mem_profile is not None:
+        resolved = backend or spec.default_backend
+        if resolved != "hw":
+            raise ValueError(
+                f"mem_profile={mem_profile!r} requires backend='hw' "
+                f"(got backend={resolved!r} on algorithm {algorithm!r})"
+            )
+        from .hw import mem as _mem
+
+        _mem.get_profile(mem_profile)
+    layout = opts.get("layout")
+    if layout is not None:
+        resolved = backend or spec.default_backend
+        if resolved != "hw":
+            raise ValueError(
+                f"layout={layout!r} requires backend='hw' "
+                f"(got backend={resolved!r} on algorithm {algorithm!r})"
+            )
+        from .graph.layout import validate_layout as _validate_layout
+
+        _validate_layout(layout)
 
     export_path: Optional[Path] = None
     if isinstance(obs, Registry):

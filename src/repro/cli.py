@@ -31,6 +31,10 @@ from pathlib import Path
 
 import numpy as np
 
+# Dependency-free registry module: safe to import at CLI build time so
+# --mem-profile can expose the capability list as argparse choices.
+from .hw.mem.profiles import PROFILE_NAMES as _MEM_PROFILE_NAMES
+
 
 def _load_graph(args):
     from .experiments import DATASET_KEYS, load_dataset
@@ -108,6 +112,10 @@ def cmd_color(args) -> int:
         opts["prune_uncolored"] = not args.raw
     if backend == "parallel" and args.workers is not None:
         opts["workers"] = args.workers
+    if args.mem_profile is not None:
+        opts["mem_profile"] = args.mem_profile
+    if args.layout is not None:
+        opts["layout"] = args.layout
     out = color(
         g,
         args.algorithm,
@@ -127,7 +135,7 @@ def cmd_color(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    from .hw import BitColorAccelerator, HWConfig, OptimizationFlags
+    from .hw import BitColorAccelerator, OptimizationFlags
     from .hw.trace import pe_utilization, render_gantt
     from .obs import JsonlExporter, Registry, use_registry
 
@@ -138,10 +146,15 @@ def cmd_simulate(args) -> int:
         mgr="mgr" not in args.disable,
         puv="puv" not in args.disable,
     )
-    cfg = HWConfig(parallelism=args.parallelism)
+    from .hw import mem
+
+    overrides = {"parallelism": args.parallelism}
     if args.cache_kb is not None:
-        cfg = HWConfig(parallelism=args.parallelism, cache_bytes=args.cache_kb << 10)
-    acc = BitColorAccelerator(cfg, flags, engine=args.engine, replay=args.replay)
+        overrides["cache_bytes"] = args.cache_kb << 10
+    cfg = mem.profile_config(args.mem_profile, **overrides)
+    acc = BitColorAccelerator(
+        cfg, flags, engine=args.engine, replay=args.replay, layout=args.layout
+    )
     if args.obs:
         # The artifact carries both wall-clock spans and the cycle-clock
         # task trace, so tracing is forced on.
@@ -154,7 +167,8 @@ def cmd_simulate(args) -> int:
     s = res.stats
     print(f"{g.name}: {g.num_vertices} vertices, {g.num_undirected_edges} edges")
     print(f"config: P={cfg.parallelism} flags={flags.label()} "
-          f"cache={cfg.cache_bytes >> 10} KiB engine={args.engine}")
+          f"cache={cfg.cache_bytes >> 10} KiB engine={args.engine} "
+          f"mem={cfg.mem_profile} layout={args.layout}")
     print(f"colors: {res.num_colors}")
     print(f"makespan: {s.makespan_cycles} cycles = {res.time_seconds * 1e6:.1f} us "
           f"({res.throughput_mcvs:.1f} MCV/s)")
@@ -289,6 +303,45 @@ def _check_fitted_service(table, model, *, datasets=()) -> int:
     finally:
         Path(model_path).unlink(missing_ok=True)
     print(f"OK: {checked} routed colorings byte-identical to direct repro.color")
+    return 0
+
+
+def cmd_hbm_sweep(args) -> int:
+    from .experiments.hbm_sweep import (
+        MINI_SWEEP, PAPER_SWEEP, check_hbm_smoke, run_hbm_smoke,
+        run_hbm_sweep, write_hbm_results,
+    )
+
+    axes = dict(MINI_SWEEP if args.mini else PAPER_SWEEP)
+    if args.datasets:
+        axes["datasets"] = tuple(args.datasets)
+    if args.channels:
+        axes["channels"] = _axis_list(args.channels, int)
+    if args.parallelisms:
+        axes["parallelisms"] = _axis_list(args.parallelisms, int)
+    if args.tier:
+        axes["tier"] = args.tier
+    results = run_hbm_sweep(**axes)
+    results["smoke"] = run_hbm_smoke()
+    if not args.quiet:
+        print(results["figure"])
+        print()
+    stops = [c for c in results["crossover"]
+             if c["merge_stops_paying_at"] is not None]
+    print(f"{len(results['entries'])} cells swept; merge stops paying on "
+          f"{len(stops)}/{len(results['crossover'])} "
+          f"(dataset, P, layout) rows; colors byte-identical across cells")
+    if args.out:
+        path = write_hbm_results(results, args.out)
+        print(f"sweep written to {path}")
+    if args.check:
+        ok, current, floor = check_hbm_smoke(results)
+        print(f"gate: parity ok, min delta-compressed edge-read-cycle "
+              f"reduction {current:.1%} (floor {floor:.1%})")
+        if not ok:
+            print("FAIL: delta-compressed layout fell below the "
+                  "reduction floor")
+            return 1
     return 0
 
 
@@ -470,6 +523,14 @@ class _VersionAction(argparse.Action):
             print(f"native backend: {info['name']} ({info['version']})")
         else:
             print(f"native backend: unavailable — {caps['native_reason']}")
+
+        from .graph.layout import LAYOUTS
+        from .hw import mem
+
+        print("memory profiles:")
+        for line in mem.describe():
+            print(f"  {line}")
+        print(f"edge layouts: {', '.join(LAYOUTS)}")
         parser.exit()
 
 
@@ -503,6 +564,13 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--workers", type=int, default=None,
                    help="process-pool width for backend=parallel (implies "
                         "--backend parallel for the bitwise algorithm)")
+    c.add_argument("--mem-profile", default=None,
+                   choices=list(_MEM_PROFILE_NAMES),
+                   help="memory profile for backend=hw (see --version for "
+                        "the registry)")
+    c.add_argument("--layout", default=None,
+                   choices=["plain", "degree-sorted", "delta-compressed"],
+                   help="edge-array layout for backend=hw")
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--obs", metavar="PATH",
                    help="write spans/counters of the run as JSON lines")
@@ -526,6 +594,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="schedule-recurrence implementation of the batched "
                         "engine: 'auto' takes the compiled native tier when "
                         "available; identical stats either way")
+    s.add_argument("--mem-profile", default="ddr4-u200",
+                   choices=list(_MEM_PROFILE_NAMES),
+                   help="memory profile to model (see --version for the "
+                        "registry)")
+    s.add_argument("--layout", default="plain",
+                   choices=["plain", "degree-sorted", "delta-compressed"],
+                   help="edge-array layout: compressed encodings cut modeled "
+                        "edge-block traffic; colors are identical either way")
     s.add_argument("--gantt", action="store_true",
                    help="print a per-PE occupancy chart")
     s.add_argument("--obs", metavar="PATH",
@@ -578,6 +654,32 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--quiet", action="store_true",
                     help="suppress per-point progress lines")
     sw.set_defaults(fn=cmd_sweep)
+
+    hs = sub.add_parser(
+        "hbm-sweep",
+        help="HBM crossover sweep: channels x layout x P merge-gain "
+             "surface on the hbm2 memory profile",
+    )
+    hs.add_argument("--mini", action="store_true",
+                    help="the small CI axes (seconds) instead of the full "
+                         "paper-tier grid behind BENCH_hbm.json")
+    hs.add_argument("--datasets", nargs="*", default=(),
+                    help="registry stand-in keys overriding the axes")
+    hs.add_argument("--channels", default=None,
+                    help="comma-separated physical channel counts")
+    hs.add_argument("--parallelisms", default=None,
+                    help="comma-separated PE counts")
+    hs.add_argument("--tier", default=None, choices=("standin", "paper"),
+                    help="dataset tier overriding the axes")
+    hs.add_argument("--out", metavar="PATH",
+                    help="write the result document here (JSON)")
+    hs.add_argument("--check", action="store_true",
+                    help="run the deterministic gate: engine parity on "
+                         "every profile x layout plus the delta-compressed "
+                         "edge-read-cycle reduction floor")
+    hs.add_argument("--quiet", action="store_true",
+                    help="suppress the ASCII crossover figure")
+    hs.set_defaults(fn=cmd_hbm_sweep)
 
     sv = sub.add_parser("serve", help="run the coloring service on a socket")
     sv.add_argument("--socket", required=True, help="Unix socket path to bind")

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.degeneracy import degeneracy_order
+from ..graph.reorder import descending_degree_order
 
 __all__ = ["ORDERINGS", "ordering", "compare_orderings"]
 
@@ -34,7 +35,9 @@ def _natural(graph: CSRGraph, seed: Optional[int]) -> np.ndarray:
 
 
 def _largest_first(graph: CSRGraph, seed: Optional[int]) -> np.ndarray:
-    return np.argsort(-graph.degrees(), kind="stable").astype(np.int64)
+    # Same implementation as DBG reordering (graph.reorder), applied to
+    # out-degrees: one source of truth for "descending degree, ties by ID".
+    return descending_degree_order(graph.degrees())
 
 
 def _smallest_last(graph: CSRGraph, seed: Optional[int]) -> np.ndarray:

@@ -78,11 +78,17 @@ def _run_bitwise(graph, *, backend: str = "python", **opts):
 
         return parallel_bitwise_coloring(graph, **opts)
     if backend == "hw":
-        from ..hw import BitColorAccelerator, HWConfig, OptimizationFlags
+        from ..hw import BitColorAccelerator, OptimizationFlags, mem
 
         config = opts.pop("config", None)
+        mem_profile = opts.pop("mem_profile", None)
+        layout = opts.pop("layout", "plain")
         if config is None:
-            config = HWConfig(parallelism=opts.pop("parallelism", 16))
+            config = mem.profile_config(
+                mem_profile or mem.DEFAULT_PROFILE,
+                parallelism=opts.pop("parallelism", 16),
+            )
+            mem_profile = None  # already baked into the config
         flags = opts.pop("flags", None) or OptimizationFlags.all()
         trace = opts.pop("trace", False)
         engine = opts.pop("engine", "event")
@@ -92,10 +98,16 @@ def _run_bitwise(graph, *, backend: str = "python", **opts):
             raise TypeError(
                 f"backend='hw' does not accept {sorted(opts)}; "
                 "supported opts: config, parallelism, flags, trace, "
-                "engine, epoch_size, replay"
+                "engine, epoch_size, replay, mem_profile, layout"
             )
         acc = BitColorAccelerator(
-            config, flags, engine=engine, epoch_size=epoch_size, replay=replay
+            config,
+            flags,
+            engine=engine,
+            epoch_size=epoch_size,
+            replay=replay,
+            mem_profile=mem_profile,
+            layout=layout,
         )
         return acc.run(graph, trace=trace)
     return bitwise_greedy_coloring(graph, backend=backend, **opts)

@@ -29,6 +29,7 @@ from .csr import CSRGraph, GraphError
 
 __all__ = [
     "ReorderResult",
+    "descending_degree_order",
     "degree_based_grouping",
     "sort_edges",
     "apply_permutation",
@@ -36,6 +37,21 @@ __all__ = [
     "random_permutation",
     "is_descending_degree_order",
 ]
+
+
+def descending_degree_order(degrees: np.ndarray, *, stable: bool = True) -> np.ndarray:
+    """Permutation sorting vertices by descending degree, ties by ID.
+
+    The single implementation behind every "largest first" order in the
+    codebase: DBG reordering (on in-degrees), the ``largest_first``
+    coloring ordering (on out-degrees), and the degree-sorted compressed
+    layout (:mod:`repro.graph.layout`).  ``stable=True`` keeps the
+    original-ID tie-break the paper's preprocessing relies on.
+    """
+    degrees = np.asarray(degrees)
+    kind = "stable" if stable else "quicksort"
+    # argsort ascending on negated degree == descending on degree, stable on ID.
+    return np.argsort(-degrees, kind=kind).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -106,10 +122,7 @@ def degree_based_grouping(graph: CSRGraph, *, stable: bool = True) -> ReorderRes
     After this pass, vertex 0 has the highest in-degree and the HDV cache
     can hold exactly the color data of vertices ``[0, v_t)``.
     """
-    in_degs = graph.in_degrees()
-    kind = "stable" if stable else "quicksort"
-    # argsort ascending on negated degree == descending on degree, stable on ID.
-    new_to_old = np.argsort(-in_degs, kind=kind).astype(np.int64)
+    new_to_old = descending_degree_order(graph.in_degrees(), stable=stable)
     g = apply_permutation(graph, new_to_old)
     g.meta["dbg_reordered"] = True
     return ReorderResult(

@@ -1,5 +1,6 @@
 """Hardware model of the BitColor accelerator (functional + cycle-approximate)."""
 
+from . import mem
 from .accelerator import AcceleratorResult, AcceleratorStats, BitColorAccelerator
 from .batched import DEFAULT_EPOCH_TASKS, run_batched
 from .bwpe import BWPE, TaskExecution, finalize_cycles
@@ -48,6 +49,7 @@ from .mis_engine import BitwiseMISAccelerator, MISEngineResult, greedy_mis
 from .writer import Writer, WriterStats
 
 __all__ = [
+    "mem",
     "AcceleratorResult",
     "AcceleratorStats",
     "BitColorAccelerator",

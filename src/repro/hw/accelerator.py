@@ -34,6 +34,7 @@ import numpy as np
 
 from ..coloring.outcome import OutcomeMixin
 from ..graph.csr import CSRGraph
+from ..graph.layout import DEFAULT_LAYOUT, LAYOUTS, build_layout
 from ..obs import get_registry, record_trace
 from .bwpe import BWPE, TaskExecution
 from .cache import HDVColorCache
@@ -111,6 +112,9 @@ class AcceleratorResult(OutcomeMixin):
     trace: Optional["ExecutionTrace"] = None
     """Per-task timing records; populated when ``run(..., trace=True)``."""
 
+    layout: str = DEFAULT_LAYOUT
+    """Edge-array layout the run was modeled with (repro.graph.layout)."""
+
     @property
     def time_seconds(self) -> float:
         return self.stats.time_seconds(self.config.frequency_mhz)
@@ -137,10 +141,19 @@ class BitColorAccelerator:
       implementation (``"auto"`` — the compiled native tier when its
       capability probe succeeds, else the Python loop; ``"python"``;
       ``"native"``); both are only used by this engine.
+
+    ``mem_profile`` names a registered memory profile (see
+    :func:`repro.hw.mem.profiles`); when given without an explicit
+    ``config``, the config is built from the profile.  ``layout`` selects
+    the edge-array encoding (:data:`repro.graph.layout.LAYOUTS`); both
+    engines account block fetches through the same layout, so the
+    ``AcceleratorStats`` parity contract holds for every
+    (profile × layout) combination.
     """
 
     ENGINES = ("event", "batched")
     REPLAYS = ("auto", "python", "native")
+    LAYOUTS = LAYOUTS
 
     def __init__(
         self,
@@ -150,6 +163,8 @@ class BitColorAccelerator:
         engine: str = "event",
         epoch_size: Optional[int] = None,
         replay: str = "auto",
+        mem_profile: Optional[str] = None,
+        layout: str = DEFAULT_LAYOUT,
     ):
         if engine not in self.ENGINES:
             raise ValueError(
@@ -159,11 +174,28 @@ class BitColorAccelerator:
             raise ValueError(
                 f"unknown replay {replay!r}; expected one of {self.REPLAYS}"
             )
+        if layout not in self.LAYOUTS:
+            raise ValueError(
+                f"unknown layout {layout!r}; expected one of {self.LAYOUTS}"
+            )
+        if mem_profile is not None:
+            from . import mem
+
+            mem.get_profile(mem_profile)  # eager: unknown names raise here
+            if config is None:
+                config = mem.profile_config(mem_profile)
+            elif config.mem_profile != mem_profile:
+                raise ValueError(
+                    f"mem_profile={mem_profile!r} conflicts with "
+                    f"config.mem_profile={config.mem_profile!r}; pass one "
+                    "or build the config with repro.hw.mem.profile_config"
+                )
         self.config = config or HWConfig()
         self.flags = flags or OptimizationFlags.all()
         self.engine = engine
         self.epoch_size = epoch_size
         self.replay = replay
+        self.layout = layout
 
     # ------------------------------------------------------------------
     def run(self, graph: CSRGraph, *, trace: bool = False) -> AcceleratorResult:
@@ -178,6 +210,8 @@ class BitColorAccelerator:
             mgr=self.flags.mgr,
             puv=self.flags.puv,
             engine=self.engine,
+            mem_profile=self.config.mem_profile,
+            layout=self.layout,
         ) as sp:
             if self.engine == "batched":
                 from .batched import DEFAULT_EPOCH_TASKS, run_batched
@@ -189,6 +223,7 @@ class BitColorAccelerator:
                     trace=trace,
                     epoch_size=self.epoch_size or DEFAULT_EPOCH_TASKS,
                     replay=self.replay,
+                    layout=self.layout,
                 )
             else:
                 result = self._run(graph, trace=trace)
@@ -252,6 +287,14 @@ class BitColorAccelerator:
             for i in range(p)
         ]
         dcts = [DataConflictTable(i, p) for i in range(p)]
+        # Plain layout keeps the original closed-form block math (and the
+        # original code path); compressed layouts are encoded once and
+        # shared read-only by every PE.
+        edge_layout = (
+            None
+            if self.layout == DEFAULT_LAYOUT
+            else build_layout(graph, self.layout, edge_index_bits=cfg.edge_index_bits)
+        )
         pes = [
             BWPE(
                 i,
@@ -261,6 +304,7 @@ class BitColorAccelerator:
                 loader=loaders[i],
                 channel=channels[i],
                 dct=dcts[i],
+                layout=edge_layout,
             )
             for i in range(p)
         ]
@@ -436,4 +480,5 @@ class BitColorAccelerator:
             config=cfg,
             flags=flags,
             trace=execution_trace,
+            layout=self.layout,
         )

@@ -51,7 +51,13 @@ from typing import List, Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from ..kernels import adjacent_pair_counts, rows_sorted, run_start_mask
+from ..graph.layout import DEFAULT_LAYOUT, EdgeLayout, build_layout, validate_layout
+from ..kernels import (
+    adjacent_pair_counts,
+    prefix_block_counts,
+    rows_sorted,
+    run_start_mask,
+)
 from ..obs import get_registry
 from .cache import CacheStats
 from .config import HWConfig, OptimizationFlags
@@ -93,6 +99,7 @@ def _precompute_epoch(
     flags: OptimizationFlags,
     *,
     scalar_lists: bool = True,
+    layout: Optional[EdgeLayout] = None,
 ) -> _Epoch:
     offsets = graph.offsets
     edges = graph.edges
@@ -177,9 +184,20 @@ def _precompute_epoch(
     s_a = s_full - stream1
     delta_a = (s_a * sc + (k - 1 - s_a) * rc) - dram_b_color
 
-    epb = cfg.edges_per_block
-    blocks_needed = (consumed + epb - 1) // epb
-    blocks_saved = (deg + epb - 1) // epb - blocks_needed
+    if layout is not None:
+        # Compressed layout: per-row header/entry widths replace the
+        # fixed edge_index_bits word (same math as the event engine's
+        # EdgeLayout.prefix_blocks, vectorized over the epoch).
+        hb = layout.header_bits[lo:hi]
+        eb = layout.entry_bits[lo:hi]
+        blocks_needed = prefix_block_counts(hb, eb, consumed, cfg.dram_block_bits)
+        blocks_saved = (
+            prefix_block_counts(hb, eb, deg, cfg.dram_block_bits) - blocks_needed
+        )
+    else:
+        epb = cfg.edges_per_block
+        blocks_needed = (consumed + epb - 1) // epb
+        blocks_saved = (deg + epb - 1) // epb - blocks_needed
     edge_dram = blocks_needed * cfg.dram_stream_cycles
 
     comp_trav = (
@@ -246,6 +264,7 @@ def run_batched(
     trace: bool = False,
     epoch_size: int = DEFAULT_EPOCH_TASKS,
     replay: str = "auto",
+    layout: str = DEFAULT_LAYOUT,
 ):
     """Run the batched engine; returns an ``AcceleratorResult``.
 
@@ -263,6 +282,11 @@ def run_batched(
     Trace capture records per-task rows, which only the Python loop
     emits: ``trace=True`` silently pins ``replay="auto"`` to Python and
     rejects an explicit ``replay="native"``.
+
+    ``layout`` selects the edge-array encoding (repro.graph.layout);
+    compressed layouts change only the per-task edge-block counts fed to
+    the precompute, so the schedule recurrence — and the parity contract
+    with the event engine — is untouched.
     """
     from ..coloring.bitwise import bitwise_greedy_coloring
     from .accelerator import AcceleratorResult, AcceleratorStats
@@ -286,6 +310,12 @@ def run_batched(
             "only recorded by the Python replay loop); drop trace= or "
             "the replay pin"
         )
+    validate_layout(layout)
+    edge_layout = (
+        None
+        if layout == DEFAULT_LAYOUT
+        else build_layout(graph, layout, edge_index_bits=cfg.edge_index_bits)
+    )
     native_impl = None
     if not trace and replay in ("auto", "native"):
         from ..kernels import native as _native
@@ -376,7 +406,8 @@ def run_batched(
     for lo in range(0, n, epoch_size):
         hi = min(lo + epoch_size, n)
         ep = _precompute_epoch(
-            graph, lo, hi, v_t, cfg, flags, scalar_lists=not use_native
+            graph, lo, hi, v_t, cfg, flags,
+            scalar_lists=not use_native, layout=edge_layout,
         )
         sum_pruned += ep.sum_pruned
         sum_cache += ep.sum_cache
@@ -675,4 +706,5 @@ def run_batched(
         config=cfg,
         flags=flags,
         trace=execution_trace,
+        layout=layout,
     )

@@ -32,6 +32,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..coloring.bitset import CascadedMuxCompressor, Num2BitTable, first_free_bits
+from ..graph.layout import EdgeLayout
 from .cache import HDVColorCache
 from .color_loader import ColorLoader
 from .config import HWConfig, OptimizationFlags
@@ -111,6 +112,7 @@ class BWPE:
         loader: ColorLoader,
         channel: DRAMChannel,
         dct: DataConflictTable,
+        layout: Optional[EdgeLayout] = None,
     ):
         self.pe_id = pe_id
         self.config = config
@@ -119,6 +121,9 @@ class BWPE:
         self.loader = loader
         self.channel = channel
         self.dct = dct
+        # Optional compressed edge layout (repro.graph.layout).  None means
+        # plain CSR accounting: ceil(consumed / edges_per_block) blocks.
+        self.layout = layout
         self.num2bit = Num2BitTable(config.max_colors)
         self.compressor = CascadedMuxCompressor(config.max_colors)
         self._state_bits = 0
@@ -199,18 +204,27 @@ class BWPE:
             state |= self.num2bit.decompress(color)
 
         # Edge block accounting: blocks actually streamed vs saved by the
-        # sorted-edge prune break.
-        blocks_needed = -(-consumed // per_block) if consumed else 0
-        blocks_total = -(-int(neighbors.size) // per_block) if neighbors.size else 0
+        # sorted-edge prune break.  With a compressed layout the row's
+        # consumed prefix occupies fewer blocks (per-row header/entry
+        # widths); without one this is plain ceil(consumed / edges_per_block).
+        if self.layout is not None:
+            blocks_needed = self.layout.prefix_blocks(
+                v_src, consumed, cfg.dram_block_bits
+            )
+            blocks_total = self.layout.prefix_blocks(
+                v_src, int(neighbors.size), cfg.dram_block_bits
+            )
+        else:
+            blocks_needed = -(-consumed // per_block) if consumed else 0
+            blocks_total = (
+                -(-int(neighbors.size) // per_block) if neighbors.size else 0
+            )
         task.edge_blocks_fetched = blocks_needed
         task.edge_blocks_saved = blocks_total - blocks_needed
-        if blocks_needed:
-            # The ping-pong buffer prefetches edge blocks while the previous
-            # task drains, so edge supply streams at burst rate and only the
-            # per-block burst cost lands on the task.
-            task.dram_cycles += blocks_needed * cfg.dram_stream_cycles
-            self.channel.stats.stream_reads += blocks_needed
-            self.channel.stats.read_cycles += blocks_needed * cfg.dram_stream_cycles
+        # The ping-pong buffer prefetches edge blocks while the previous
+        # task drains, so edge supply streams at burst rate and only the
+        # per-block burst cost lands on the task.
+        task.dram_cycles += self.channel.stream_run(blocks_needed)
 
         self._state_bits = state
         self._current = task

@@ -81,6 +81,13 @@ class HWConfig:
     """Capacity of the HDV color cache (single-copy data size)."""
 
     # Off-chip memory ----------------------------------------------------
+    mem_profile: str = "ddr4-u200"
+    """Name of the memory profile these ``dram_*`` values describe (see
+    :mod:`repro.hw.mem`).  The default field values below *are* the
+    ``ddr4-u200`` profile; ``repro.hw.mem.profile_config(name)`` builds
+    a config for any registered profile.  The label travels with the
+    config so results can be attributed to a board class."""
+
     dram_block_bits: int = 512
     dram_latency_cycles: int = 36
     """Random-access latency of one 512-bit block read (pipeline fill)."""
@@ -158,6 +165,15 @@ class HWConfig:
             raise ValueError("color width must divide the DRAM block width")
         if self.max_colors < 1:
             raise ValueError("max_colors must be positive")
+        # Deferred import: ``repro.hw.mem`` imports this module back for
+        # ``profile_config``; profiles.py itself is dependency-free.
+        from .mem.profiles import PROFILE_NAMES
+
+        if self.mem_profile not in PROFILE_NAMES:
+            raise ValueError(
+                f"unknown memory profile {self.mem_profile!r}; "
+                f"expected one of {PROFILE_NAMES}"
+            )
 
 
 DEFAULT_CONFIG = HWConfig()

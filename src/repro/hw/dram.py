@@ -1,8 +1,12 @@
 """Per-BWPE logical DRAM channel model.
 
 Each BWPE connects to its own logical channel (Section 4.1), so channels
-never contend in the model.  A channel is a block-granular (512-bit)
-memory with two cost classes:
+never contend in the model.  (Contention between *logical* channels that
+share a physical channel — 4 on the U200's DDR4, 32 on an HBM2 stack,
+see :mod:`repro.hw.mem` — is modeled by the engines' shared-server
+queues, not here.)  A channel is a block-granular memory — block width
+``dram_block_bits`` comes from the active memory profile — with two cost
+classes:
 
 * a **random** block read costs ``dram_latency_cycles``;
 * a block read that continues a **sequential stream** (block index =
@@ -101,6 +105,25 @@ class DRAMChannel:
         self.stats.write_cycles += cost
         # A write breaks the read stream at the controller.
         self._last_block = None
+        return cost
+
+    def stream_run(self, num_blocks: int) -> int:
+        """Account a burst of ``num_blocks`` sequential block reads.
+
+        The edge reader opens one burst per task and streams the row's
+        blocks back to back, so every block — including the first —
+        costs the burst rate (the stream open is part of the task setup,
+        not the per-block occupancy).  Zero-length runs are free no-ops;
+        a single-block run is still a (degenerate) sequential burst.
+        Returns the total occupancy in cycles.
+        """
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        if num_blocks == 0:
+            return 0
+        cost = num_blocks * self.config.dram_stream_cycles
+        self.stats.stream_reads += num_blocks
+        self.stats.read_cycles += cost
         return cost
 
     def end_stream(self) -> None:

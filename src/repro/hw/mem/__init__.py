@@ -1,0 +1,72 @@
+"""Pluggable off-chip memory subsystem.
+
+``repro.hw.mem`` turns the DDR4 constants that used to be hard-coded in
+:class:`~repro.hw.config.HWConfig` into named, swappable
+:class:`~repro.hw.mem.profiles.MemProfile` records:
+
+>>> from repro.hw import mem
+>>> mem.profiles()
+('ddr4-u200', 'hbm2')
+>>> cfg = mem.profile_config("hbm2", parallelism=32)
+>>> cfg.dram_physical_channels
+32
+
+``profile_config("ddr4-u200")`` is field-for-field identical to
+``HWConfig()``, so existing callers and recorded benchmarks are
+unaffected.  Both accelerator engines consume the resulting
+``HWConfig`` unchanged — profile selection never forks the cost model,
+it only re-parameterises it, which is what keeps the event/batched
+``AcceleratorStats`` parity contract intact under every profile.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List
+
+from .profiles import (
+    DEFAULT_PROFILE,
+    PROFILE_NAMES,
+    PROFILES,
+    MemProfile,
+    get_profile,
+    profiles,
+    sharing_divisor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import HWConfig
+
+__all__ = [
+    "MemProfile",
+    "PROFILES",
+    "PROFILE_NAMES",
+    "DEFAULT_PROFILE",
+    "get_profile",
+    "profiles",
+    "profile_config",
+    "describe",
+    "sharing_divisor",
+]
+
+
+def profile_config(name: str = DEFAULT_PROFILE, **overrides: Any) -> HWConfig:
+    """Build an :class:`HWConfig` for a named memory profile.
+
+    Keyword overrides win over the profile's own values, so sweeps can
+    vary a single knob (e.g. ``profile_config("hbm2",
+    dram_physical_channels=8)`` models a partially-bonded stack).
+    """
+    # Imported here (not at module top) so ``repro.hw.config`` can import
+    # ``.mem.profiles`` for name validation without a cycle.
+    from ..config import HWConfig
+
+    profile = get_profile(name)
+    params: dict = dict(profile.config_overrides())
+    params["mem_profile"] = profile.name
+    params.update(overrides)
+    return HWConfig(**params)
+
+
+def describe() -> List[str]:
+    """One line per registered profile — surfaced by ``--version``."""
+    return [PROFILES[name].summary() for name in PROFILE_NAMES]

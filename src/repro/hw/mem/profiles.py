@@ -1,0 +1,158 @@
+"""Memory-profile registry — the pluggable off-chip memory models.
+
+The original model hard-coded the Alveo U200's DDR4 subsystem into
+:class:`~repro.hw.config.HWConfig` defaults.  A :class:`MemProfile`
+captures that same parameter set as data, so a second board class can be
+described without touching the cost model:
+
+* ``ddr4-u200`` — the paper's deployment: 4 DDR4-2400 channels, 512-bit
+  AXI data path, and the calibrated per-block costs the Figure 11–13
+  numbers were produced with.  ``profile_config("ddr4-u200")`` equals
+  ``HWConfig()`` field for field, so the profile reproduces the original
+  behaviour bit-for-bit.
+* ``hbm2`` — a U280/U55C-class HBM2 stack: 32 independent pseudo
+  channels behind a hardened crossbar.  Each pseudo channel is
+  *narrower* (256-bit effective AXI beat) and its random-access latency
+  is a little higher than DDR4's as seen from the kernel clock, but
+  bursts stream faster and there are eight times as many channels, so a
+  16- or 32-PE instance keeps every logical channel un-shared — the
+  Figure 12 sharing knee moves from P=4 to P=32.
+
+This module is intentionally dependency-free (no import from
+``..config``) so :mod:`repro.hw.config` can validate profile names
+without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
+
+__all__ = [
+    "MemProfile",
+    "PROFILES",
+    "PROFILE_NAMES",
+    "DEFAULT_PROFILE",
+    "get_profile",
+    "profiles",
+    "sharing_divisor",
+]
+
+
+@dataclass(frozen=True)
+class MemProfile:
+    """One off-chip memory technology as the cost model sees it.
+
+    Field names after ``description`` deliberately mirror the
+    ``HWConfig`` fields they map onto (``dram_`` prefix dropped), so
+    :func:`repro.hw.mem.profile_config` can apply a profile with a
+    simple rename.
+    """
+
+    name: str
+    description: str
+
+    physical_channels: int
+    """Independent physical channels (DDR4 controllers or HBM pseudo
+    channels).  Each BWPE keeps its own *logical* channel; at
+    P > physical_channels several logical channels share one physical
+    channel's bandwidth (the Figure 12 scaling knee)."""
+
+    block_bits: int
+    """Data-path width of one block transfer on this memory."""
+
+    latency_cycles: int
+    """Full random-access latency of one block read (pipeline fill)."""
+
+    read_occupancy_cycles: int
+    """Steady-state per-block occupancy of a random read (latency is
+    overlapped across the loader's outstanding requests)."""
+
+    stream_cycles: int
+    """Per-block cost inside an open sequential burst."""
+
+    write_cycles: int
+    """Posted-write occupancy per block (no stall)."""
+
+    def config_overrides(self) -> Dict[str, int]:
+        """The ``HWConfig`` field values this profile pins."""
+        return {
+            "dram_physical_channels": self.physical_channels,
+            "dram_block_bits": self.block_bits,
+            "dram_latency_cycles": self.latency_cycles,
+            "dram_read_occupancy_cycles": self.read_occupancy_cycles,
+            "dram_stream_cycles": self.stream_cycles,
+            "dram_write_cycles": self.write_cycles,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.physical_channels} ch x {self.block_bits} b, "
+            f"occupancy/stream/write = {self.read_occupancy_cycles}/"
+            f"{self.stream_cycles}/{self.write_cycles} cyc"
+        )
+
+
+# ``ddr4-u200`` must match the HWConfig defaults exactly — a test pins
+# every field pair (see tests/hw/test_mem_profiles.py).
+PROFILES: Dict[str, MemProfile] = {
+    "ddr4-u200": MemProfile(
+        name="ddr4-u200",
+        description=(
+            "Alveo U200: 4 DDR4-2400 channels, 512-bit data path "
+            "(the paper's deployment; reproduces the original model "
+            "bit-for-bit)"
+        ),
+        physical_channels=4,
+        block_bits=512,
+        latency_cycles=36,
+        read_occupancy_cycles=10,
+        stream_cycles=4,
+        write_cycles=2,
+    ),
+    "hbm2": MemProfile(
+        name="hbm2",
+        description=(
+            "U280/U55C-class HBM2: 32 pseudo channels, 256-bit "
+            "effective beat, higher fill latency, faster bursts"
+        ),
+        physical_channels=32,
+        block_bits=256,
+        latency_cycles=48,
+        read_occupancy_cycles=8,
+        stream_cycles=2,
+        write_cycles=2,
+    ),
+}
+
+PROFILE_NAMES: Tuple[str, ...] = tuple(PROFILES)
+DEFAULT_PROFILE = "ddr4-u200"
+
+
+def profiles() -> Tuple[str, ...]:
+    """Capability listing — the registered memory-profile names."""
+    return PROFILE_NAMES
+
+
+def get_profile(name: str) -> MemProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown memory profile {name!r}; expected one of {PROFILE_NAMES}"
+        ) from None
+
+
+def sharing_divisor(parallelism: int, physical_channels: int) -> int:
+    """How many logical (per-PE) channels share one physical channel.
+
+    The event and batched engines model contention by queueing the P
+    logical channels on ``physical_channels`` shared servers; this
+    closed form is the uniform-load upper bound the tests pin (the
+    Figure 12 knee: 1 while P <= physical channels, then it climbs).
+    """
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    if physical_channels < 1:
+        raise ValueError("physical_channels must be >= 1")
+    return -(-parallelism // physical_channels)

@@ -30,7 +30,14 @@ from .bitmatrix import (
     words_for_colors,
 )
 from .native import NativeUnavailable
-from .segments import adjacent_pair_counts, rows_sorted, run_start_mask, segment_ids
+from .segments import (
+    adjacent_pair_counts,
+    prefix_block_counts,
+    rows_sorted,
+    run_start_mask,
+    segment_ids,
+    segment_max,
+)
 
 __all__ = [
     "WORD_BITS",
@@ -46,11 +53,13 @@ __all__ = [
     "onehot_to_colors",
     "popcount_u64",
     "preferred_tier",
+    "prefix_block_counts",
     "resolve_tier_kernels",
     "rows_sorted",
     "run_start_mask",
     "scatter_or_colors",
     "segment_ids",
+    "segment_max",
     "words_for_colors",
 ]
 

@@ -81,3 +81,27 @@ class TestQuality:
         result = compare_orderings(g, seed=3)
         assert result["largest_first"] == 2
         assert result["smallest_last"] == 2
+
+
+class TestLargestFirstSharedKernel:
+    """``largest_first`` is :func:`repro.graph.descending_degree_order`
+    on out-degrees — one degree-sort kernel, two call sites (DBG is the
+    other).  Pinned so the deduplication cannot silently diverge."""
+
+    def test_equals_shared_kernel(self, medium_powerlaw):
+        from repro.graph import descending_degree_order
+
+        assert np.array_equal(
+            ordering(medium_powerlaw, "largest_first"),
+            descending_degree_order(medium_powerlaw.degrees()),
+        )
+
+    def test_stable_among_ties(self):
+        # Every vertex of a cycle has degree 2: a stable descending sort
+        # must preserve vertex order exactly.
+        from repro.graph import cycle_graph
+
+        g = cycle_graph(7)
+        assert np.array_equal(
+            ordering(g, "largest_first"), np.arange(g.num_vertices)
+        )

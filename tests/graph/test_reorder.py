@@ -119,3 +119,31 @@ class TestRandomPermutation:
         colors = greedy_coloring_fast(gs)
         assert_proper_coloring(gs, colors)
         assert_proper_coloring(g, r.map_coloring_to_original(colors))
+
+
+class TestDescendingDegreeOrder:
+    """The shared degree-sort kernel behind both DBG and the coloring
+    package's ``largest_first`` ordering."""
+
+    def test_is_permutation_and_descends(self, medium_powerlaw):
+        from repro.graph import descending_degree_order
+
+        degrees = medium_powerlaw.degrees()
+        order = descending_degree_order(degrees)
+        assert sorted(order.tolist()) == list(range(degrees.size))
+        assert np.all(np.diff(degrees[order]) <= 0)
+
+    def test_stable_tie_break_is_vertex_id(self):
+        from repro.graph import descending_degree_order
+
+        order = descending_degree_order(np.array([3, 5, 3, 5, 1]))
+        assert order.tolist() == [1, 3, 0, 2, 4]
+
+    def test_dbg_uses_it(self, medium_powerlaw):
+        """DBG's permutation is exactly the shared kernel's order on
+        in-degrees."""
+        from repro.graph import descending_degree_order
+
+        r = degree_based_grouping(medium_powerlaw)
+        want = descending_degree_order(medium_powerlaw.in_degrees())
+        assert np.array_equal(r.new_to_old, want)

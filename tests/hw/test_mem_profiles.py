@@ -1,0 +1,250 @@
+"""Memory-profile registry, eager validation, and DRAM bulk accounting.
+
+Three contracts pinned here:
+
+* the ``ddr4-u200`` profile *is* the historical ``HWConfig`` defaults —
+  the golden fixture (captured from the tree before the profile layer
+  existed) must reproduce byte-for-byte through ``mem.profile_config``;
+* unknown profile / layout names fail eagerly, at construction, with
+  the capability list in the message — never deep inside a run;
+* ``DRAMStats`` bulk accounting (``stream_run``) and the logical→
+  physical channel-sharing divisor behave at the edges (zero-length
+  streams, single blocks, P > physical channels) on *every* registered
+  profile, not just the default.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.experiments.datasets import REGISTRY, load_dataset
+from repro.hw import (
+    BitColorAccelerator,
+    DRAMChannel,
+    HWConfig,
+    OptimizationFlags,
+    mem,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "standin_stats_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+# The two smallest stand-ins keep the event engine affordable; batched
+# covers the full suite.
+EVENT_GOLDEN_KEYS = ("EF", "GD")
+
+
+def _golden_config():
+    """The fixture was captured with the all-defaults ``HWConfig()``;
+    ``profile_config("ddr4-u200")`` must be that exact config."""
+    return mem.profile_config("ddr4-u200")
+
+
+class TestRegistry:
+    def test_names_and_default(self):
+        assert mem.profiles() == ("ddr4-u200", "hbm2")
+        assert mem.DEFAULT_PROFILE == "ddr4-u200"
+        assert mem.PROFILE_NAMES == mem.profiles()
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown memory profile 'gddr6'"):
+            mem.get_profile("gddr6")
+
+    def test_ddr4_is_the_hwconfig_defaults(self):
+        """The default profile reproduces every historical DRAM field."""
+        defaults = HWConfig()
+        cfg = mem.profile_config("ddr4-u200")
+        for f in dataclasses.fields(HWConfig):
+            assert getattr(cfg, f.name) == getattr(defaults, f.name), f.name
+
+    def test_hbm2_shape(self):
+        prof = mem.get_profile("hbm2")
+        assert prof.physical_channels == 32
+        assert prof.block_bits == 256
+        # The batched engine requires stream/occupancy cycles > 1.
+        assert prof.stream_cycles > 1
+        assert prof.read_occupancy_cycles > 1
+
+    def test_profile_config_overrides(self):
+        cfg = mem.profile_config(
+            "hbm2", dram_physical_channels=8, parallelism=4
+        )
+        assert cfg.dram_physical_channels == 8
+        assert cfg.parallelism == 4
+        assert cfg.mem_profile == "hbm2"
+        assert cfg.dram_block_bits == 256
+
+    def test_describe_lists_every_profile(self):
+        text = "\n".join(mem.describe())
+        for name in mem.PROFILE_NAMES:
+            assert name in text
+
+    def test_hwconfig_rejects_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown memory profile"):
+            HWConfig(mem_profile="gddr6")
+
+
+class TestEagerValidation:
+    def test_accelerator_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown memory profile"):
+            BitColorAccelerator(mem_profile="gddr6")
+
+    def test_accelerator_unknown_layout(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            BitColorAccelerator(layout="csr5")
+
+    def test_accelerator_profile_config_conflict(self):
+        cfg = mem.profile_config("ddr4-u200")
+        with pytest.raises(ValueError, match="conflict"):
+            BitColorAccelerator(cfg, mem_profile="hbm2")
+
+    def test_facade_unknown_profile(self, triangle):
+        with pytest.raises(ValueError, match="unknown memory profile"):
+            repro.color(triangle, backend="hw", mem_profile="gddr6")
+
+    def test_facade_unknown_layout(self, triangle):
+        with pytest.raises(ValueError, match="unknown layout"):
+            repro.color(triangle, backend="hw", layout="csr5")
+
+    def test_facade_profile_requires_hw_backend(self, triangle):
+        with pytest.raises(ValueError, match="requires backend='hw'"):
+            repro.color(triangle, mem_profile="hbm2")
+
+    def test_facade_layout_requires_hw_backend(self, triangle):
+        with pytest.raises(ValueError, match="requires backend='hw'"):
+            repro.color(triangle, layout="delta-compressed")
+
+
+class TestSharingDivisor:
+    @pytest.mark.parametrize(
+        "parallelism,channels,want",
+        [(1, 1, 1), (4, 4, 1), (16, 4, 4), (16, 32, 1), (33, 32, 2),
+         (64, 32, 2), (5, 4, 2)],
+    )
+    def test_ceil_division(self, parallelism, channels, want):
+        assert mem.sharing_divisor(parallelism, channels) == want
+
+    @pytest.mark.parametrize("parallelism,channels", [(0, 4), (4, 0), (-1, 4)])
+    def test_rejects_non_positive(self, parallelism, channels):
+        with pytest.raises(ValueError):
+            mem.sharing_divisor(parallelism, channels)
+
+
+@pytest.fixture(params=mem.PROFILE_NAMES)
+def profile_cfg(request):
+    return mem.profile_config(request.param, parallelism=1)
+
+
+class TestDRAMBulkAccounting:
+    """``stream_run`` edge cases, on every registered profile."""
+
+    def test_zero_length_stream_is_free(self, profile_cfg):
+        ch = DRAMChannel(profile_cfg)
+        assert ch.stream_run(0) == 0
+        assert ch.stats.stream_reads == 0
+        assert ch.stats.read_cycles == 0
+
+    def test_single_block_run(self, profile_cfg):
+        ch = DRAMChannel(profile_cfg)
+        assert ch.stream_run(1) == profile_cfg.dram_stream_cycles
+        assert ch.stats.stream_reads == 1
+
+    def test_bulk_matches_repeated_singles(self, profile_cfg):
+        bulk = DRAMChannel(profile_cfg)
+        bulk.stream_run(7)
+        singles = DRAMChannel(profile_cfg)
+        for _ in range(7):
+            singles.stream_run(1)
+        assert dataclasses.asdict(bulk.stats) == dataclasses.asdict(
+            singles.stats
+        )
+
+    def test_negative_raises(self, profile_cfg):
+        with pytest.raises(ValueError):
+            DRAMChannel(profile_cfg).stream_run(-1)
+
+
+class TestChannelSharingKnee:
+    """Figure 12's knee: queueing appears exactly when P exceeds the
+    profile's physical channel count."""
+
+    @pytest.mark.parametrize("profile", mem.PROFILE_NAMES)
+    def test_queue_cycles_appear_past_the_knee(self, profile):
+        graph = load_dataset("CO")
+        spec = REGISTRY["CO"]
+        # A deliberately small HDV cache keeps the LDV read stream alive
+        # so the channels are actually contended.
+        cache_vertices = max(
+            1, int(round(spec.hdv_fraction * graph.num_vertices * 0.1))
+        )
+        prof = mem.get_profile(profile)
+        queue = {}
+        for parallelism in (prof.physical_channels,
+                            prof.physical_channels * 2):
+            cfg = mem.profile_config(
+                profile,
+                parallelism=parallelism,
+                cache_bytes=cache_vertices * 2,
+            )
+            stats = BitColorAccelerator(
+                cfg, OptimizationFlags.all(), engine="batched"
+            ).run(graph).stats
+            queue[parallelism] = stats.dram_queue_cycles
+        at_knee, past_knee = queue.values()
+        assert at_knee == 0
+        assert past_knee > 0
+
+
+class TestGoldenReproduction:
+    """``ddr4-u200`` must reproduce the pre-refactor accelerator stats
+    byte-for-byte on every stand-in (batched engine; event on the two
+    smallest).  The fixture was captured before the memory subsystem
+    existed, so any drift here is a broken reproduction contract."""
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN["datasets"]))
+    def test_batched_byte_for_byte(self, key):
+        graph = load_dataset(key)
+        expected = GOLDEN["datasets"][key]
+        res = BitColorAccelerator(
+            _golden_config(), OptimizationFlags.all(), engine="batched"
+        ).run(graph)
+        assert dataclasses.asdict(res.stats) == expected["stats"]
+        assert int(res.colors.sum()) == expected["colors_sum"]
+        assert res.num_colors == expected["num_colors"]
+
+    @pytest.mark.parametrize("key", EVENT_GOLDEN_KEYS)
+    def test_event_byte_for_byte(self, key):
+        graph = load_dataset(key)
+        expected = GOLDEN["datasets"][key]
+        res = BitColorAccelerator(
+            _golden_config(), OptimizationFlags.all(), engine="event"
+        ).run(graph)
+        assert dataclasses.asdict(res.stats) == expected["stats"]
+        assert int(res.colors.sum()) == expected["colors_sum"]
+
+
+class TestProfileLayoutParityMatrix:
+    """Exact event-vs-batched parity must hold on every (profile x
+    layout) cell — the engine contract does not bend for new memory
+    models or edge encodings."""
+
+    @pytest.mark.parametrize("profile", mem.PROFILE_NAMES)
+    @pytest.mark.parametrize(
+        "layout", ("plain", "degree-sorted", "delta-compressed")
+    )
+    def test_engines_agree(self, profile, layout, preprocessed_powerlaw):
+        cfg = mem.profile_config(profile, parallelism=4, cache_bytes=256)
+        runs = {
+            engine: BitColorAccelerator(
+                cfg, OptimizationFlags.all(), engine=engine, layout=layout
+            ).run(preprocessed_powerlaw)
+            for engine in ("event", "batched")
+        }
+        ev, ba = runs["event"], runs["batched"]
+        assert np.array_equal(ev.colors, ba.colors)
+        assert dataclasses.asdict(ev.stats) == dataclasses.asdict(ba.stats)
+        assert ev.layout == ba.layout == layout

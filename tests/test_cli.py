@@ -263,3 +263,72 @@ class TestExperiment:
         rc = main(["experiment", "table3"])
         assert rc == 0
         assert "ego-Facebook" in capsys.readouterr().out
+
+
+class TestMemProfilesAndLayouts:
+    def test_version_lists_profiles_and_layouts(self, capsys):
+        from repro.cli import build_parser
+        from repro.hw import mem
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "memory profiles:" in out
+        for name in mem.profiles():
+            assert name in out
+        assert "edge layouts:" in out
+        assert "delta-compressed" in out
+
+    def test_simulate_hbm_profile_and_layout(self, capsys):
+        rc = main([
+            "simulate", "--dataset", "EF", "-p", "4",
+            "--mem-profile", "hbm2", "--layout", "delta-compressed",
+            "--engine", "batched",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mem=hbm2" in out
+        assert "layout=delta-compressed" in out
+        assert "makespan" in out
+
+    def test_simulate_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dataset", "EF", "--mem-profile", "gddr6"])
+
+    def test_color_hw_profile_and_layout(self, capsys):
+        rc = main([
+            "color", "--dataset", "EF", "--algorithm", "bitwise",
+            "--backend", "hw", "--mem-profile", "hbm2",
+            "--layout", "degree-sorted",
+        ])
+        assert rc == 0
+        assert "validated" in capsys.readouterr().out
+
+
+class TestHbmSweep:
+    def test_parser_args(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["hbm-sweep", "--mini", "--channels", "4,8", "--tier", "standin"]
+        )
+        assert args.mini and args.channels == "4,8"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hbm-sweep", "--tier", "huge"])
+
+    def test_mini_sweep_end_to_end(self, tmp_path, capsys):
+        out_path = tmp_path / "hbm.json"
+        rc = main([
+            "hbm-sweep", "--mini", "--parallelisms", "8",
+            "--channels", "4,32", "--out", str(out_path), "--quiet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells swept" in out
+        assert out_path.exists()
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["colors_identical_across_cells"] is True
+        assert {e["channels"] for e in doc["entries"]} == {4, 32}
